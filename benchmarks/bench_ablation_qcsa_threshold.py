@@ -1,0 +1,62 @@
+"""Ablation: QCSA's three-band relative threshold vs absolute cutoffs.
+
+The paper argues (section 3.2) that an absolute CV threshold cannot work
+because CV ranges differ between applications.  This ablation compares
+the three-band rule against absolute cutoffs on TPC-DS and TPC-H: a
+cutoff tuned for one application misclassifies on the other, while the
+relative rule adapts.
+"""
+
+import numpy as np
+
+from repro.core.qcsa import analyze_samples, classify_queries
+from repro.harness.experiment import collect_cv_samples
+from repro.harness.report import format_table
+from repro.stats import coefficient_of_variation
+
+
+def run_ablation(seed: int = 42):
+    out = {}
+    for benchmark in ("tpcds", "tpch"):
+        samples = collect_cv_samples(benchmark, "arm", 300.0, n_samples=20, rng=seed)
+        cvs = {name: coefficient_of_variation(t) for name, t in samples.items()}
+        relative = classify_queries(cvs)
+        out[benchmark] = {
+            "cvs": cvs,
+            "relative_csq": len(relative.csq),
+            "absolute": {
+                cutoff: sum(1 for v in cvs.values() if v >= cutoff)
+                for cutoff in (0.05, 0.5, 2.0)
+            },
+        }
+    return out
+
+
+def test_ablation_qcsa_threshold(run_once):
+    result = run_once(run_ablation)
+    rows = []
+    for benchmark, data in result.items():
+        rows.append([
+            benchmark,
+            len(data["cvs"]),
+            data["relative_csq"],
+            data["absolute"][0.05],
+            data["absolute"][0.5],
+            data["absolute"][2.0],
+        ])
+    print("\n" + format_table(
+        ["benchmark", "queries", "3-band CSQ", "abs>=0.05", "abs>=0.5", "abs>=2.0"],
+        rows,
+        title="Ablation: relative vs absolute CV thresholds",
+    ))
+
+    tpcds = result["tpcds"]
+    # The relative rule keeps a small CSQ fraction on TPC-DS without any
+    # per-application calibration...
+    assert tpcds["relative_csq"] < len(tpcds["cvs"]) * 0.4
+    # ...whereas a mis-chosen absolute cutoff degenerates: too low keeps
+    # nearly everything, too high keeps nearly nothing.
+    for data in result.values():
+        n = len(data["cvs"])
+        assert data["absolute"][0.05] > 0.7 * n, "0.05 cutoff should keep almost all"
+        assert data["absolute"][2.0] <= 0.1 * n, "2.0 cutoff should keep almost none"

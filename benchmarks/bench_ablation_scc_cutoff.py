@@ -1,0 +1,46 @@
+"""Ablation: CPS's |SCC| >= 0.2 cutoff.
+
+Sweeps the Spearman cutoff and reports how many parameters survive and
+whether the headline parameters (Table 3) are retained.  The paper's 0.2
+sits in the plateau where noise parameters are dropped but all headline
+parameters survive.
+"""
+
+from repro.core.iicp import run_cps
+from repro.harness.experiment import collect_iicp_samples
+from repro.harness.report import format_table
+
+HEADLINE = {"sql.shuffle.partitions", "executor.memory", "executor.cores"}
+
+
+def run_ablation(seed: int = 7):
+    configs, durations, simulator = collect_iicp_samples(
+        "tpcds", "x86", 300.0, n_samples=40, rng=seed
+    )
+    out = {}
+    for cutoff in (0.05, 0.1, 0.2, 0.4, 0.6):
+        cps = run_cps(simulator.space, configs, durations, threshold=cutoff)
+        out[cutoff] = {
+            "kept": len(cps.selected),
+            "headline_kept": len(HEADLINE & set(cps.selected)),
+        }
+    return out
+
+
+def test_ablation_scc_cutoff(run_once):
+    result = run_once(run_ablation)
+    rows = [[c, d["kept"], f"{d['headline_kept']}/3"] for c, d in result.items()]
+    print("\n" + format_table(
+        ["|SCC| cutoff", "parameters kept", "headline kept"],
+        rows,
+        title="Ablation: CPS Spearman cutoff (paper uses 0.2)",
+    ))
+
+    # Monotone: a stricter cutoff keeps fewer parameters.
+    kept = [d["kept"] for d in result.values()]
+    assert kept == sorted(kept, reverse=True)
+    # The paper's 0.2 keeps most headline parameters.
+    assert result[0.2]["headline_kept"] >= 2
+    # A very strict cutoff starts losing headline parameters or falls to
+    # the minimum guard.
+    assert result[0.6]["kept"] <= result[0.2]["kept"]

@@ -1,0 +1,18 @@
+"""Figure 6: KPCA kernel comparison for CPE.
+
+Paper shape: the SD of execution times induced by configurations drawn
+through the Gaussian kernel's components is the largest on both TPC-DS
+and TPC-H, so LOCAT adopts the Gaussian kernel.
+"""
+
+from repro.harness.figures import fig06_kernel_choice
+
+
+def test_fig06_kernel_choice(run_once):
+    result = run_once(fig06_kernel_choice, seed=7)
+    print("\n" + result.render())
+
+    wins = sum(result.gaussian_wins(b) for b in result.sd_by_kernel)
+    assert wins >= 1, "Gaussian kernel should win on at least one benchmark"
+    for bench, sds in result.sd_by_kernel.items():
+        assert all(v > 0 for v in sds.values()), f"degenerate SDs for {bench}"

@@ -1,0 +1,20 @@
+"""Figure 7: CV estimate vs the number of QCSA samples.
+
+Paper shape: the CV keeps changing while N_QCSA grows to ~30 and is flat
+beyond — 30 samples suffice, more only waste time.
+"""
+
+from repro.harness.figures import fig07_nqcsa
+
+
+def test_fig07_nqcsa(run_once):
+    result = run_once(fig07_nqcsa, seed=7)
+    print("\n" + result.render())
+
+    for benchmark in result.mean_cv:
+        assert result.converged_after(benchmark, n=30, tolerance=0.15), (
+            f"{benchmark}: CV not stable beyond 30 samples"
+        )
+        # The early estimates (N=10) differ from the converged value.
+        series = result.mean_cv[benchmark]
+        assert series[0] != series[-1]

@@ -1,0 +1,29 @@
+"""Figure 8: per-query configuration sensitivity of TPC-DS.
+
+Paper shape: CVs differ wildly across queries (Q04 ~0.24, Q72 ~3.49);
+the three-band split keeps 23 configuration-sensitive queries — Q72,
+Q29, Q14b, ..., Q20 — and drops 81; long queries are not necessarily
+sensitive (Q04).
+"""
+
+from repro.harness.figures import PAPER_CSQ, fig08_query_cv
+
+
+def test_fig08_query_cv(run_once):
+    result = run_once(fig08_query_cv, cluster="arm", datasize_gb=300.0, seed=42)
+    print("\n" + result.render())
+
+    # The CSQ set matches the paper's 23 queries almost exactly.
+    assert 17 <= len(result.csq) <= 27
+    assert result.overlap_with_paper >= 17
+
+    # The most sensitive queries are all from the paper's CSQ set; Q72 is
+    # sensitive (the paper ranks it first; our CV ordering inside the CSQ
+    # band differs — see EXPERIMENTS.md) and Q04 is long but insensitive.
+    top5 = sorted(result.cvs, key=lambda q: -result.cvs[q])[:5]
+    assert set(top5) <= PAPER_CSQ
+    assert "Q72" in result.csq
+    assert "Q04" in result.ciq
+
+    # Dynamic range: the most sensitive query dwarfs the least sensitive.
+    assert max(result.cvs.values()) > 5 * min(result.cvs.values())

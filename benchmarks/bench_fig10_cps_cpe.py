@@ -1,0 +1,18 @@
+"""Figure 10: parameter counts through the IICP pipeline.
+
+Paper shape: of the 38 original parameters, CPS keeps roughly two thirds
+(26-31) and CPE extracts roughly one third (8-15) for every benchmark.
+"""
+
+from repro.harness.figures import fig10_cps_cpe
+
+
+def test_fig10_cps_cpe(run_once):
+    result = run_once(fig10_cps_cpe, seed=7)
+    print("\n" + result.render())
+
+    for benchmark, (original, cps, cpe) in result.counts.items():
+        assert original == 38
+        assert 5 <= cps < 38, f"{benchmark}: CPS kept {cps}"
+        assert cpe <= cps, f"{benchmark}: CPE must not grow the dimension"
+        assert 5 <= cpe <= 15, f"{benchmark}: CPE extracted {cpe} (paper: 8-15)"

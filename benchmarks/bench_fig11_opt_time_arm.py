@@ -1,0 +1,24 @@
+"""Figure 11: optimization-time reduction on the ARM cluster.
+
+Paper shape (averages over the five benchmarks): Tuneful 6.4x, DAC 7.0x,
+GBO-RL 4.1x, QTune 9.7x slower than LOCAT, with GBO-RL the cheapest
+baseline and QTune the most expensive.
+"""
+
+from repro.harness.figures import PAPER_OPT_TIME_REDUCTION, fig11_opt_time
+
+BENCHMARKS = ("tpcds", "tpch", "join", "aggregation")  # scan adds little signal
+
+
+def test_fig11_opt_time_arm(run_once):
+    result = run_once(fig11_opt_time, cluster="arm", benchmarks=BENCHMARKS, seed=11)
+    print("\n" + result.render())
+
+    averages = result.averages()
+    paper = PAPER_OPT_TIME_REDUCTION["arm"]
+    for name, measured in averages.items():
+        assert measured > 1.5, f"{name} should be much slower than LOCAT"
+        # Within a factor ~2.5 of the paper's reported average.
+        assert measured < paper[name] * 3.0, f"{name} reduction implausibly large"
+    # QTune is the most expensive baseline; GBO-RL the cheapest (paper order).
+    assert averages["QTune"] > averages["GBO-RL"]

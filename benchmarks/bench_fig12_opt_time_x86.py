@@ -1,0 +1,20 @@
+"""Figure 12: optimization-time reduction on the x86 cluster.
+
+Paper shape (averages): Tuneful 6.4x, DAC 6.3x, GBO-RL 4.0x, QTune 9.2x.
+"""
+
+from repro.harness.figures import PAPER_OPT_TIME_REDUCTION, fig12_opt_time
+
+BENCHMARKS = ("tpcds", "tpch", "join", "aggregation")
+
+
+def test_fig12_opt_time_x86(run_once):
+    result = run_once(fig12_opt_time, benchmarks=BENCHMARKS, seed=11)
+    print("\n" + result.render())
+
+    averages = result.averages()
+    paper = PAPER_OPT_TIME_REDUCTION["x86"]
+    for name, measured in averages.items():
+        assert measured > 1.5, f"{name} should be much slower than LOCAT"
+        assert measured < paper[name] * 3.0, f"{name} reduction implausibly large"
+    assert averages["QTune"] > averages["GBO-RL"]

@@ -1,0 +1,37 @@
+"""Figure 13: speedups of LOCAT-tuned configurations, ARM cluster.
+
+Paper shape: across the 25 program-input pairs LOCAT's configurations
+beat the baselines' on average (2.4/2.2/2.0/1.9x), and the advantage
+grows with the input data size — the baselines cannot adapt their
+configurations to datasize changes.
+"""
+
+import numpy as np
+
+from repro.harness.figures import fig13_speedup
+
+DATASIZES = (100.0, 300.0, 500.0)
+BENCHMARKS = ("tpcds", "tpch", "join")
+
+
+def test_fig13_speedup_arm(run_once):
+    result = run_once(
+        fig13_speedup,
+        cluster="arm",
+        benchmarks=BENCHMARKS,
+        datasizes=DATASIZES,
+        seed=7,
+    )
+    print("\n" + result.render())
+
+    averages = result.averages()
+    # LOCAT wins on average against every baseline.
+    assert all(v >= 1.0 for v in averages.values()), averages
+
+    # The speedup grows with datasize (averaged over baselines/benchmarks).
+    per_ds = {ds: [] for ds in DATASIZES}
+    for per in result.speedups.values():
+        for ds, values in per.items():
+            per_ds[ds].extend(values.values())
+    means = [float(np.mean(per_ds[ds])) for ds in DATASIZES]
+    assert means[-1] > means[0], f"speedup does not grow with datasize: {means}"

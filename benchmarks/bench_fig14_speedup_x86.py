@@ -1,0 +1,35 @@
+"""Figure 14: speedups of LOCAT-tuned configurations, x86 cluster.
+
+Paper shape: averages 2.8/2.6/2.3/2.1x over Tuneful/DAC/GBO-RL/QTune,
+growing with input data size.
+"""
+
+import numpy as np
+
+from repro.harness.figures import fig14_speedup
+
+DATASIZES = (100.0, 300.0, 500.0)
+BENCHMARKS = ("tpcds", "tpch", "join")
+
+
+def test_fig14_speedup_x86(run_once):
+    result = run_once(
+        fig14_speedup,
+        benchmarks=BENCHMARKS,
+        datasizes=DATASIZES,
+        seed=7,
+    )
+    print("\n" + result.render())
+
+    averages = result.averages()
+    # LOCAT at worst ties any single baseline (sampling noise margin) and
+    # clearly wins overall.
+    assert all(v >= 0.9 for v in averages.values()), averages
+    assert float(np.mean(list(averages.values()))) > 1.2, averages
+
+    per_ds = {ds: [] for ds in DATASIZES}
+    for per in result.speedups.values():
+        for ds, values in per.items():
+            per_ds[ds].extend(values.values())
+    means = [float(np.mean(per_ds[ds])) for ds in DATASIZES]
+    assert means[-1] > means[0], f"speedup does not grow with datasize: {means}"

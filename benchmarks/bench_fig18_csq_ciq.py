@@ -1,0 +1,30 @@
+"""Figure 18: execution-time split between CSQ and CIQ.
+
+Paper shape: performance differences between tuners come mostly from the
+configuration-sensitive queries; CIQ time barely responds to tuning.
+"""
+
+import numpy as np
+
+from repro.harness.figures import fig18_csq_ciq
+
+
+def test_fig18_csq_ciq(run_once):
+    result = run_once(fig18_csq_ciq, datasizes=(100.0, 200.0, 300.0), seed=11,
+                      locat_iterations=20)
+    print("\n" + result.render())
+
+    # CIQ times are nearly tuner-independent: spread under 40% of mean.
+    for ds in result.datasizes:
+        ciq_times = [per_ds[ds][1] for per_ds in result.split.values()]
+        spread = (max(ciq_times) - min(ciq_times)) / np.mean(ciq_times)
+        assert spread < 0.4, f"CIQ time should be config-insensitive, spread={spread:.2f}"
+
+    # CSQ times vary across tuners far more than CIQ times do.
+    csq_spreads, ciq_spreads = [], []
+    for ds in result.datasizes:
+        csq = [per_ds[ds][0] for per_ds in result.split.values()]
+        ciq = [per_ds[ds][1] for per_ds in result.split.values()]
+        csq_spreads.append(max(csq) - min(csq))
+        ciq_spreads.append(max(ciq) - min(ciq))
+    assert sum(csq_spreads) > sum(ciq_spreads)

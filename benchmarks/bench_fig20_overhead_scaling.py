@@ -1,0 +1,26 @@
+"""Figure 20: tuning overhead as the input data size increases.
+
+Paper shape: baselines re-tune from scratch at each new datasize, so
+their cumulative cost grows steeply; LOCAT adapts via DAGP and its
+post-bootstrap sessions are cheap.
+"""
+
+from repro.harness.figures import fig20_overhead_scaling
+
+
+def test_fig20_overhead_scaling(run_once):
+    result = run_once(fig20_overhead_scaling, datasizes=(100.0, 200.0, 300.0), seed=7,
+                      locat_iterations=20)
+    print("\n" + result.render())
+
+    assert result.locat_flattest(), "LOCAT should add the least overhead per new datasize"
+    # LOCAT's adaptation sessions cost a small fraction of what any
+    # baseline pays to re-tune at the new datasize.
+    locat = result.overhead_hours["LOCAT"]
+    for i in (1, 2):
+        cheapest_retune = min(
+            v[i] for k, v in result.overhead_hours.items() if k != "LOCAT"
+        )
+        assert locat[i] < cheapest_retune * 0.5, (
+            f"adaptation at index {i} not clearly cheaper than re-tuning"
+        )

@@ -1,0 +1,26 @@
+"""Figure 21: QCSA and IICP grafted onto the SOTA approaches.
+
+Paper shape: evaluating only the RQA (QCSA) cuts every approach's
+optimization overhead by a large factor (4.2x average), restricting to
+the CPS-selected parameters (IICP) helps both overhead and quality, and
+the combination (QIT) is the best of both.
+"""
+
+from repro.harness.figures import fig21_portability
+
+
+def test_fig21_portability(run_once):
+    result = run_once(fig21_portability, datasize_gb=300.0, seed=11)
+    print("\n" + result.render())
+
+    # QCSA alone cuts overhead (the paper reports 4.2x; our CSQs carry a
+    # larger share of a random run's cost, so the discount is smaller —
+    # see EXPERIMENTS.md discussion 2).
+    assert result.qcsa_cuts_overhead(factor=1.1)
+    for tuner in result.overhead:
+        apt = result.overhead[tuner]["APT"]
+        qit = result.overhead[tuner]["QIT"]
+        # The combination cuts overhead substantially...
+        assert qit < apt / 1.5, f"{tuner}: QIT should cut APT overhead by >=1.5x"
+        # ...without destroying tuned quality.
+        assert result.duration[tuner]["QIT"] < result.duration[tuner]["APT"] * 1.4

@@ -1,0 +1,26 @@
+"""Section 5.11: why some queries are configuration-sensitive.
+
+Paper shape: sensitivity follows shuffle volume — 'join'/'aggregation'
+queries with large shuffles are sensitive (Q72 shuffles 52 GB of a
+100 GB input), simple selections and tiny-shuffle queries (Q08, 5 MB)
+are not.
+"""
+
+from repro.harness.figures import sec511_sensitivity_reasons
+from repro.sparksim import get_application
+
+
+def test_sec511_sensitivity_reasons(run_once):
+    result = run_once(sec511_sensitivity_reasons, seed=42)
+    print("\n" + result.render())
+
+    # CV rank-correlates strongly with shuffle volume.
+    assert result.correlation > 0.5
+
+    # Selection queries sit in the bottom half of the CV ranking.
+    app = get_application("tpcds")
+    selection = [q.name for q in app.queries if q.category == "selection"]
+    ranked = sorted(result.cvs, key=lambda q: -result.cvs[q])
+    bottom_half = set(ranked[len(ranked) // 2 :])
+    in_bottom = sum(1 for name in selection if name in bottom_half)
+    assert in_bottom >= len(selection) * 0.7

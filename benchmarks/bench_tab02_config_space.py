@@ -1,0 +1,35 @@
+"""Table 2: the 38-parameter configuration space itself.
+
+Regenerates the parameter table (defaults, Range A, Range B) from
+``repro.sparksim.configspace`` and validates the structural counts the
+paper states in section 5.12.
+"""
+
+from repro.harness.report import format_table
+from repro.sparksim.configspace import PARAMETERS
+
+
+def render_table2() -> str:
+    rows = []
+    for param in PARAMETERS:
+        if param.kind == "bool":
+            rng_a = rng_b = "true, false"
+        else:
+            rng_a = f"{param.range_a[0]:g} - {param.range_a[1]:g}"
+            rng_b = f"{param.range_b[0]:g} - {param.range_b[1]:g}"
+        star = "*" if param.resource else ""
+        rows.append([f"{star}spark.{param.name}", str(param.default), rng_a, rng_b])
+    return format_table(
+        ["parameter", "default", "Range A (ARM)", "Range B (x86)"],
+        rows,
+        title="Table 2: selected parameters",
+    )
+
+
+def test_table2_config_space(run_once):
+    table = run_once(render_table2)
+    print("\n" + table)
+    assert len(PARAMETERS) == 38
+    numeric = sum(1 for p in PARAMETERS if p.kind != "bool")
+    assert numeric == 27  # the paper's table lists 27 numeric + 11 boolean rows
+    assert sum(1 for p in PARAMETERS if p.resource) == 6  # starred rows

@@ -1,0 +1,25 @@
+"""Table 3: top-5 important parameters for TPC-DS by datasize.
+
+Paper shape: spark.sql.shuffle.partitions is #1 at every datasize; the
+executor memory/instances/cores and shuffle.compress parameters fill the
+rest; memory.offHeap.size enters the top-5 at 1 TB.
+"""
+
+from repro.harness.figures import PAPER_TABLE3, tab03_top_params
+
+#: The parameters the paper's Table 3 draws from.
+PAPER_POOL = set().union(*PAPER_TABLE3.values())
+
+
+def test_tab03_top_params(run_once):
+    result = run_once(tab03_top_params, seed=7)
+    print("\n" + result.render())
+    print(f"paper table: {PAPER_TABLE3}")
+
+    for ds, top5 in result.top5.items():
+        overlap = result.overlap_with_paper(ds)
+        assert overlap >= 2, f"{ds:.0f}GB: only {overlap}/5 match the paper's top-5"
+    # The headline parameters appear among the top-5 somewhere.
+    seen = set().union(*result.top5.values())
+    assert "sql.shuffle.partitions" in seen
+    assert {"executor.memory", "executor.cores"} & seen

@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round): the interesting output is the reproduced table/figure and its
+agreement with the paper, not the harness' wall-clock jitter.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment a single time under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,46 @@
+"""Head-to-head: LOCAT vs the four SOTA tuners on one benchmark.
+
+Tunes HiBench Aggregation at 300 GB on the simulated x86 cluster with
+LOCAT, Tuneful, DAC, GBO-RL, and QTune, then reports each tuner's
+optimization overhead and tuned performance (the paper's Figures 11-14
+condensed to one table).
+
+    python examples/compare_tuners.py [benchmark]
+"""
+
+import sys
+
+from repro.harness.experiment import compare_tuners
+from repro.harness.report import format_table
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "aggregation"
+    print(f"Tuning {benchmark} at 300 GB with five tuners (this runs "
+          "thousands of simulated Spark jobs)...")
+    comparison = compare_tuners(benchmark=benchmark, cluster="x86", datasize_gb=300.0, seed=3)
+
+    rows = []
+    locat = comparison.locat
+    for name, result in comparison.results.items():
+        rows.append([
+            name,
+            result.best_duration_s,
+            result.overhead_hours,
+            result.evaluations,
+            "-" if name == "LOCAT" else f"{comparison.overhead_ratio(name):.1f}x",
+        ])
+    print()
+    print(format_table(
+        ["tuner", "tuned time (s)", "overhead (h)", "runs", "overhead vs LOCAT"],
+        rows,
+        title=f"{benchmark} @ 300 GB on the x86 cluster",
+    ))
+    print()
+    print(f"LOCAT reached {locat.best_duration_s:.0f}s spending "
+          f"{locat.overhead_hours:.1f}h; the cheapest baseline spent "
+          f"{min(r.overhead_hours for n, r in comparison.results.items() if n != 'LOCAT'):.1f}h.")
+
+
+if __name__ == "__main__":
+    main()

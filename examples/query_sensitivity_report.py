@@ -1,0 +1,56 @@
+"""QCSA in isolation: which TPC-DS queries react to configuration tuning?
+
+Reproduces the paper's Figure 8 analysis: run TPC-DS under 30 random
+configurations, compute each query's coefficient of variation, split the
+CV range into three bands, and report the configuration-sensitive set —
+along with the shuffle volumes that explain it (section 5.11).
+
+    python examples/query_sensitivity_report.py
+"""
+
+from repro.core import SparkSQLObjective
+from repro.core.qcsa import QCSA, analyze_samples
+from repro.harness.report import format_table
+from repro.sparksim import SparkSQLSimulator, arm_cluster, get_application
+
+PAPER_CSQ = {
+    "Q72", "Q29", "Q14b", "Q43", "Q41", "Q99", "Q57", "Q33", "Q14a", "Q69",
+    "Q40", "Q64a", "Q50", "Q21", "Q70", "Q95", "Q54", "Q23a", "Q23b", "Q15",
+    "Q58", "Q62", "Q20",
+}
+
+
+def main() -> None:
+    app = get_application("tpcds")
+    simulator = SparkSQLSimulator(arm_cluster())
+    objective = SparkSQLObjective(simulator, app, rng=42)
+
+    print("Running TPC-DS 30 times with random configurations (300 GB)...")
+    samples = QCSA(n_samples=30).collect(objective, 300.0, rng=42)
+    result = analyze_samples(samples)
+
+    ranked = sorted(result.cvs.items(), key=lambda kv: -kv[1])
+    shuffle_gb = {q.name: q.total_shuffle_fraction * 300.0 for q in app.queries}
+    rows = [
+        [name, cv, shuffle_gb[name], "CSQ" if name in result.csq else "CIQ"]
+        for name, cv in ranked[:25]
+    ]
+    print()
+    print(format_table(
+        ["query", "CV", "shuffle GB", "class"],
+        rows,
+        title="Top 25 TPC-DS queries by configuration sensitivity",
+    ))
+    print()
+    overlap = len(set(result.csq) & PAPER_CSQ)
+    print(f"CSQ: {len(result.csq)} queries, CIQ: {len(result.ciq)} "
+          f"(paper: 23 / 81); overlap with the paper's CSQ set: {overlap}/23")
+    print(f"CV threshold (min + width of the bottom band): {result.threshold:.2f}")
+    print()
+    print("Collecting one training sample with only the CSQ queries (the")
+    print("RQA) costs a fraction of a full run, which is where LOCAT's")
+    print("sample-collection savings come from.")
+
+
+if __name__ == "__main__":
+    main()

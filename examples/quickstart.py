@@ -1,0 +1,50 @@
+"""Quickstart: tune a Spark SQL application with LOCAT.
+
+Runs LOCAT on the HiBench Join benchmark (simulated x86 cluster),
+compares the tuned configuration against Spark defaults, and prints the
+interesting parameter values.
+
+    python examples/quickstart.py
+"""
+
+from repro.core import LOCAT
+from repro.sparksim import SparkSQLSimulator, get_application, x86_cluster
+
+
+def main() -> None:
+    cluster = x86_cluster()
+    simulator = SparkSQLSimulator(cluster)
+    app = get_application("join")
+
+    print(f"Tuning {app.name} on the {cluster.name} cluster "
+          f"({cluster.total_cores} cores / {cluster.total_memory_gb:.0f} GB)...")
+    locat = LOCAT(simulator, app, rng=1)
+    result = locat.tune(datasize_gb=300.0)
+
+    default_config = simulator.space.default()
+    default_time = simulator.run(app, default_config, 300.0, rng=2).duration_s
+
+    print()
+    print(result.summary())
+    print(f"Spark defaults:    {default_time:10.1f} s")
+    print(f"LOCAT-tuned:       {result.best_duration_s:10.1f} s "
+          f"({default_time / result.best_duration_s:.1f}x faster than defaults)")
+    print()
+    print("Key tuned parameters:")
+    for name in (
+        "sql.shuffle.partitions",
+        "executor.instances",
+        "executor.cores",
+        "executor.memory",
+        "memory.offHeap.enabled",
+        "memory.offHeap.size",
+        "shuffle.compress",
+    ):
+        print(f"  spark.{name:40s} {default_config[name]!s:>8} -> {result.best_config[name]!s:>8}")
+    print()
+    print(f"Important parameters selected by IICP: {len(result.details['iicp_selected'])}"
+          f" of 38; latent dimensions tuned by BO: {result.details['n_latent_dims']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Reproduction of LOCAT (SIGMOD 2022).
+
+LOCAT: Low-Overhead Online Configuration Auto-Tuning of Spark SQL
+Applications — Jinhan Xin, Kai Hwang, Zhibin Yu.
+
+Public entry points:
+
+* :class:`repro.LOCAT` — the tuner (QCSA + IICP + DAGP).
+* :func:`repro.sparksim.get_application` — TPC-DS / TPC-H / HiBench apps.
+* :class:`repro.sparksim.SparkSQLSimulator` — the cluster substrate.
+* :mod:`repro.baselines` — Tuneful, DAC, GBO-RL, QTune.
+* :mod:`repro.harness.figures` — one driver per paper figure/table.
+"""
+
+from repro.core import LOCAT
+from repro.sparksim import (
+    SparkSQLSimulator,
+    arm_cluster,
+    get_application,
+    x86_cluster,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LOCAT",
+    "SparkSQLSimulator",
+    "__version__",
+    "arm_cluster",
+    "get_application",
+    "x86_cluster",
+]

@@ -1,0 +1,38 @@
+"""Reimplementations of the four SOTA tuners LOCAT is compared against.
+
+* :mod:`repro.baselines.tuneful` — Tuneful [22]: one-at-a-time (OAT)
+  significance analysis followed by GP-BO over the significant subspace.
+* :mod:`repro.baselines.dac` — DAC [66]: a datasize-aware hierarchical
+  regression-tree model trained on many random runs, searched with a
+  genetic algorithm.
+* :mod:`repro.baselines.gborl` — GBO-RL [36]: Bayesian optimization
+  guided (bootstrapped) by an analytical memory model, followed by a
+  reinforcement-learning refinement phase.
+* :mod:`repro.baselines.qtune` — QTune [37]: query-aware deep
+  reinforcement learning (DDPG-style actor-critic).
+
+The reimplementations are faithful in *search behaviour and sample
+complexity* — what the paper's optimization-time and speedup comparisons
+measure — not line-by-line ports (no author code is public for most).
+All share the :class:`~repro.baselines.base.BaselineTuner` interface and
+support the QCSA/IICP grafting hooks used by Figure 21.
+"""
+
+from repro.baselines.base import BaselineTuner
+from repro.baselines.dac import DAC
+from repro.baselines.gborl import GBORL
+from repro.baselines.qtune import QTune
+from repro.baselines.random_search import RandomSearch
+from repro.baselines.tuneful import Tuneful
+
+ALL_BASELINES = (Tuneful, DAC, GBORL, QTune)
+
+__all__ = [
+    "ALL_BASELINES",
+    "BaselineTuner",
+    "DAC",
+    "GBORL",
+    "QTune",
+    "RandomSearch",
+    "Tuneful",
+]

@@ -1,0 +1,109 @@
+"""Shared scaffolding for baseline tuners.
+
+Every baseline gets an objective with overhead accounting and two
+optional grafting hooks used by the paper's portability study
+(section 5.10, Figure 21):
+
+* ``rqa_queries`` — evaluate only these queries during search (QCSA
+  grafted onto the baseline); the final configuration is still validated
+  on the full application.
+* ``subspace`` — tune only these parameters, leaving the rest at their
+  defaults (IICP's CPS selection grafted onto the baseline).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.objective import SparkSQLObjective
+from repro.core.result import TuningResult
+from repro.sparksim.configspace import Configuration
+from repro.sparksim.engine import SparkSQLSimulator
+from repro.sparksim.query import Application
+from repro.stats.sampling import ensure_rng
+
+
+class BaselineTuner(abc.ABC):
+    """Base class: evaluation plumbing shared by all baseline tuners."""
+
+    NAME = "baseline"
+
+    def __init__(
+        self,
+        simulator: SparkSQLSimulator,
+        app: Application,
+        rng: int | np.random.Generator | None = None,
+        rqa_queries: list[str] | None = None,
+        subspace: list[str] | None = None,
+    ):
+        self.simulator = simulator
+        self.app = app
+        self.rng = ensure_rng(rng)
+        self.rqa_queries = list(rqa_queries) if rqa_queries else None
+        self.subspace = list(subspace) if subspace else None
+        self.objective = SparkSQLObjective(simulator, app, rng=self.rng)
+
+    # ------------------------------------------------------------------
+    # Evaluation plumbing
+    # ------------------------------------------------------------------
+    @property
+    def space(self):
+        return self.simulator.space
+
+    @property
+    def search_dim(self) -> int:
+        """Dimensionality of the (possibly restricted) search space."""
+        return len(self.subspace) if self.subspace else self.space.dim
+
+    def decode_point(self, point: np.ndarray) -> Configuration:
+        """Unit-cube point -> configuration, honouring the subspace hook."""
+        if self.subspace:
+            return self.space.decode_subset(np.asarray(point, dtype=float), self.subspace)
+        return self.space.decode(np.asarray(point, dtype=float))
+
+    def evaluate(self, config: Configuration, datasize_gb: float) -> float:
+        """One costed evaluation (full app, or the RQA when grafted)."""
+        if self.rqa_queries:
+            return self.objective.run_subset(config, datasize_gb, self.rqa_queries).duration_s
+        return self.objective.run(config, datasize_gb).duration_s
+
+    def evaluate_point(self, point: np.ndarray, datasize_gb: float) -> float:
+        return self.evaluate(self.decode_point(point), datasize_gb)
+
+    def sample_point(self) -> np.ndarray:
+        return self.rng.random(self.search_dim)
+
+    # ------------------------------------------------------------------
+    # Template method
+    # ------------------------------------------------------------------
+    def tune(self, datasize_gb: float) -> TuningResult:
+        """Run the tuner's search, then validate the best configuration."""
+        overhead_before = self.objective.overhead_s
+        evals_before = self.objective.n_evaluations
+
+        best_config, details = self._optimize(datasize_gb)
+        validation = self.objective.run(best_config, datasize_gb)
+        best_duration = validation.duration_s
+        if not self.rqa_queries:
+            # Full-app search: an earlier trial may beat the validation rerun.
+            incumbent = self.objective.best_trial(datasize_gb)
+            if incumbent.duration_s < best_duration:
+                best_config = incumbent.config
+                best_duration = incumbent.duration_s
+
+        return TuningResult(
+            tuner=self.NAME,
+            application=self.app.name,
+            datasize_gb=float(datasize_gb),
+            best_config=best_config,
+            best_duration_s=best_duration,
+            overhead_s=self.objective.overhead_s - overhead_before,
+            evaluations=self.objective.n_evaluations - evals_before,
+            details=details,
+        )
+
+    @abc.abstractmethod
+    def _optimize(self, datasize_gb: float) -> tuple[Configuration, dict]:
+        """Search for the best configuration; return it plus details."""

@@ -1,0 +1,90 @@
+"""DAC (Yu et al. 2018): datasize-aware model-based tuning.
+
+DAC builds a hierarchical performance model from a large corpus of
+random runs (the paper calls out its high sample-collection cost) and
+searches the model with a genetic algorithm; only the GA's elite
+candidates are validated on the real cluster.  We model the hierarchy
+with gradient-boosted regression trees over (encoded config, datasize),
+which matches DAC's regression-tree ensembles in both expressiveness and
+training-data appetite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineTuner
+from repro.ml.gbrt import GradientBoostedRegressionTrees
+from repro.sparksim.configspace import Configuration
+
+
+class DAC(BaselineTuner):
+    """Random training corpus -> GBRT model -> genetic-algorithm search."""
+
+    NAME = "DAC"
+
+    def __init__(
+        self,
+        *args,
+        n_training: int = 80,
+        n_validation: int = 8,
+        ga_generations: int = 30,
+        ga_population: int = 60,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if n_training < 10:
+            raise ValueError("n_training must be at least 10")
+        self.n_training = n_training
+        self.n_validation = n_validation
+        self.ga_generations = ga_generations
+        self.ga_population = ga_population
+
+    # ------------------------------------------------------------------
+    def _collect_corpus(self, datasize_gb: float) -> tuple[np.ndarray, np.ndarray]:
+        points = np.empty((self.n_training, self.search_dim))
+        durations = np.empty(self.n_training)
+        for i in range(self.n_training):
+            point = self.sample_point()
+            points[i] = point
+            durations[i] = self.evaluate(self.decode_point(point), datasize_gb)
+        return points, durations
+
+    def _genetic_search(self, model: GradientBoostedRegressionTrees) -> np.ndarray:
+        """Minimize the model's predicted log time with a simple GA."""
+        dim = self.search_dim
+        population = self.rng.random((self.ga_population, dim))
+        for _ in range(self.ga_generations):
+            fitness = model.predict(population)
+            order = np.argsort(fitness)  # ascending predicted time
+            elite = population[order[: self.ga_population // 4]]
+            children = []
+            while len(children) < self.ga_population - len(elite):
+                parents = elite[self.rng.integers(0, len(elite), size=2)]
+                mask = self.rng.random(dim) < 0.5
+                child = np.where(mask, parents[0], parents[1])
+                mutate = self.rng.random(dim) < 0.1
+                child = np.where(mutate, np.clip(child + self.rng.normal(0, 0.15, dim), 0, 1), child)
+                children.append(child)
+            population = np.vstack([elite, children])
+        fitness = model.predict(population)
+        order = np.argsort(fitness)
+        return population[order[: self.n_validation]]
+
+    def _optimize(self, datasize_gb: float) -> tuple[Configuration, dict]:
+        points, durations = self._collect_corpus(datasize_gb)
+        model = GradientBoostedRegressionTrees(
+            n_estimators=150, learning_rate=0.08, max_depth=4, subsample=0.8, rng=self.rng
+        )
+        model.fit(points, np.log(np.maximum(durations, 1e-6)))
+
+        candidates = self._genetic_search(model)
+        best_config: Configuration | None = None
+        best_duration = float("inf")
+        for point in candidates:
+            config = self.decode_point(point)
+            duration = self.evaluate(config, datasize_gb)
+            if duration < best_duration:
+                best_config, best_duration = config, duration
+        assert best_config is not None
+        return best_config, {"n_training": self.n_training}

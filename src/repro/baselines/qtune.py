@@ -1,0 +1,138 @@
+"""QTune (Li et al. 2018): query-aware deep reinforcement learning.
+
+QTune featurizes the workload's queries and trains a DDPG-style
+actor-critic whose continuous action is the configuration vector.  The
+LOCAT paper's complaint — and the behaviour reproduced here — is sample
+hunger: hundreds of real executions are needed before the actor's policy
+beats a good heuristic, which makes QTune the slowest comparison point
+(9-10x LOCAT's optimization time).
+
+The networks are small two-layer MLPs implemented directly on numpy;
+the query featurization is the application's operator mix and shuffle
+profile, matching QTune's "query2vector" in spirit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineTuner
+from repro.sparksim.configspace import Configuration
+from repro.sparksim.query import Application
+
+
+def featurize_application(app: Application, datasize_gb: float) -> np.ndarray:
+    """QTune-style workload vector: operator mix + volumes + datasize."""
+    n = len(app.queries)
+    selection = sum(1 for q in app.queries if q.category == "selection") / n
+    join = sum(1 for q in app.queries if q.category == "join") / n
+    aggregation = sum(1 for q in app.queries if q.category == "aggregation") / n
+    shuffle = sum(q.total_shuffle_fraction for q in app.queries) / n
+    scan = sum(q.total_input_fraction for q in app.queries) / n
+    return np.array([selection, join, aggregation, shuffle, scan, datasize_gb / 1024.0])
+
+
+class _MLP:
+    """Two-layer tanh MLP trained with plain SGD."""
+
+    def __init__(self, n_in: int, n_hidden: int, n_out: int, rng: np.random.Generator,
+                 out_sigmoid: bool = False):
+        scale = 1.0 / np.sqrt(n_in)
+        self.w1 = rng.normal(0, scale, size=(n_in, n_hidden))
+        self.b1 = np.zeros(n_hidden)
+        self.w2 = rng.normal(0, 1.0 / np.sqrt(n_hidden), size=(n_hidden, n_out))
+        self.b2 = np.zeros(n_out)
+        self.out_sigmoid = out_sigmoid
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = np.atleast_2d(x)
+        self._h = np.tanh(self._x @ self.w1 + self.b1)
+        z = self._h @ self.w2 + self.b2
+        if self.out_sigmoid:
+            self._z = 0.5 * (1.0 + np.tanh(0.5 * z))
+            return self._z
+        self._z = z
+        return z
+
+    def backward(self, grad_out: np.ndarray, lr: float) -> None:
+        grad_out = np.atleast_2d(grad_out)
+        if self.out_sigmoid:
+            grad_out = grad_out * self._z * (1.0 - self._z)
+        grad_w2 = self._h.T @ grad_out
+        grad_b2 = grad_out.sum(axis=0)
+        grad_h = grad_out @ self.w2.T * (1.0 - self._h**2)
+        grad_w1 = self._x.T @ grad_h
+        grad_b1 = grad_h.sum(axis=0)
+        n = self._x.shape[0]
+        self.w2 -= lr * grad_w2 / n
+        self.b2 -= lr * grad_b2 / n
+        self.w1 -= lr * grad_w1 / n
+        self.b1 -= lr * grad_b1 / n
+
+
+class QTune(BaselineTuner):
+    """DDPG-style actor-critic over the configuration space."""
+
+    NAME = "QTune"
+
+    def __init__(
+        self,
+        *args,
+        n_episodes: int = 170,
+        batch_size: int = 16,
+        exploration: float = 0.35,
+        exploration_decay: float = 0.995,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.n_episodes = n_episodes
+        self.batch_size = batch_size
+        self.exploration = exploration
+        self.exploration_decay = exploration_decay
+
+    def _optimize(self, datasize_gb: float) -> tuple[Configuration, dict]:
+        dim = self.search_dim
+        state = featurize_application(self.app, datasize_gb)
+        actor = _MLP(state.shape[0], 32, dim, self.rng, out_sigmoid=True)
+        critic = _MLP(state.shape[0] + dim, 32, 1, self.rng)
+
+        replay: list[tuple[np.ndarray, float]] = []
+        best_point: np.ndarray | None = None
+        best_duration = float("inf")
+        sigma = self.exploration
+
+        for episode in range(self.n_episodes):
+            action = actor.forward(state)[0]
+            noisy = np.clip(action + self.rng.normal(0.0, sigma, size=dim), 0.0, 1.0)
+            duration = self.evaluate_point(noisy, datasize_gb)
+            # Reward: negative log time (scale-free across datasizes).
+            reward = -float(np.log(max(duration, 1e-9)))
+            replay.append((noisy, reward))
+            if duration < best_duration:
+                best_point, best_duration = noisy.copy(), duration
+            sigma *= self.exploration_decay
+
+            if len(replay) >= self.batch_size:
+                idx = self.rng.integers(0, len(replay), size=self.batch_size)
+                actions = np.stack([replay[i][0] for i in idx])
+                rewards = np.array([replay[i][1] for i in idx])
+                states = np.repeat(state[None, :], self.batch_size, axis=0)
+                # Critic regression toward observed rewards.
+                q = critic.forward(np.hstack([states, actions]))[:, 0]
+                critic.backward((q - rewards)[:, None], lr=0.01)
+                # Actor ascent along the critic's action gradient.
+                a = actor.forward(states)
+                q = critic.forward(np.hstack([states, a]))
+                grad_out = np.ones_like(q)
+                grad_in = self._critic_action_grad(critic, np.hstack([states, a]), grad_out)
+                actor.backward(-grad_in[:, state.shape[0]:], lr=0.005)
+
+        assert best_point is not None
+        return self.decode_point(best_point), {"n_episodes": self.n_episodes}
+
+    @staticmethod
+    def _critic_action_grad(critic: _MLP, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        """d critic / d input (for deterministic policy gradient)."""
+        h = np.tanh(x @ critic.w1 + critic.b1)
+        grad_h = grad_out @ critic.w2.T * (1.0 - h**2)
+        return grad_h @ critic.w1.T

@@ -1,0 +1,33 @@
+"""Pure random search — the sanity baseline.
+
+Not one of the paper's comparison points, but indispensable for testing:
+any tuner worth its overhead must beat random search at equal budget.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineTuner
+from repro.sparksim.configspace import Configuration
+
+
+class RandomSearch(BaselineTuner):
+    """Evaluate ``n_samples`` uniform configurations, keep the best."""
+
+    NAME = "RandomSearch"
+
+    def __init__(self, *args, n_samples: int = 50, **kwargs):
+        super().__init__(*args, **kwargs)
+        if n_samples < 1:
+            raise ValueError("n_samples must be at least 1")
+        self.n_samples = n_samples
+
+    def _optimize(self, datasize_gb: float) -> tuple[Configuration, dict]:
+        best_config: Configuration | None = None
+        best_duration = float("inf")
+        for _ in range(self.n_samples):
+            config = self.decode_point(self.sample_point())
+            duration = self.evaluate(config, datasize_gb)
+            if duration < best_duration:
+                best_config, best_duration = config, duration
+        assert best_config is not None
+        return best_config, {"n_samples": self.n_samples}

@@ -1,0 +1,54 @@
+"""Acquisition functions for minimization-oriented BO.
+
+All functions take posterior means/stds at candidate points and the best
+(lowest) observed value, and return scores to *maximize*.  ``xi`` is the
+usual exploration offset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+
+def expected_improvement(
+    mean: np.ndarray,
+    std: np.ndarray,
+    best: float,
+    xi: float = 0.0,
+) -> np.ndarray:
+    """EI for minimization: ``E[max(best - f(x) - xi, 0)]``."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    improvement = best - mean - xi
+    z = improvement / std
+    return improvement * norm.cdf(z) + std * norm.pdf(z)
+
+
+def probability_of_improvement(
+    mean: np.ndarray,
+    std: np.ndarray,
+    best: float,
+    xi: float = 0.0,
+) -> np.ndarray:
+    """PI for minimization: ``P(f(x) < best - xi)``."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    return norm.cdf((best - mean - xi) / std)
+
+
+def upper_confidence_bound(
+    mean: np.ndarray,
+    std: np.ndarray,
+    best: float = 0.0,
+    kappa: float = 2.0,
+) -> np.ndarray:
+    """GP-LCB for minimization, negated so callers always maximize.
+
+    ``best`` is accepted (and ignored) so all acquisition functions share
+    one signature.
+    """
+    del best
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    return -(mean - kappa * std)

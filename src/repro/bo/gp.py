@@ -1,0 +1,144 @@
+"""Gaussian process regression (paper equations (8)-(10)).
+
+The GP models the (standardized) objective with a zero mean and a chosen
+covariance kernel plus observation noise.  Prediction follows equation
+(10): posterior mean ``K*^T (K + s^2 I)^-1 y`` and covariance
+``K** - K*^T (K + s^2 I)^-1 K*`` computed via Cholesky factorization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve, cholesky
+
+from repro.bo.kernels import Matern52Kernel, RBFKernel
+
+_JITTER = 1e-8
+
+
+class GaussianProcess:
+    """GP regressor with internal target standardization.
+
+    ``noise_variance`` is expressed in *standardized* target units; the
+    default 1e-4 matches a few-percent measurement noise on execution
+    times.  Hyper-parameters live in the kernel plus ``log_noise``, and
+    the combined vector used by MCMC is
+    ``[kernel theta..., log noise_variance]``.
+    """
+
+    def __init__(self, kernel: RBFKernel | Matern52Kernel, noise_variance: float = 1e-4):
+        if noise_variance <= 0:
+            raise ValueError("noise_variance must be positive")
+        self.kernel = kernel
+        self.noise_variance = float(noise_variance)
+        self._x: np.ndarray | None = None
+        self._y_raw: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._chol = None
+        self._alpha: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting and prediction
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._x is not None
+
+    @property
+    def n_samples(self) -> int:
+        return 0 if self._x is None else self._x.shape[0]
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        if x.shape[1] != self.kernel.dim:
+            raise ValueError(f"kernel expects dim {self.kernel.dim}, got {x.shape[1]}")
+        if not np.all(np.isfinite(x)) or not np.all(np.isfinite(y)):
+            raise ValueError("training data contains non-finite values")
+        self._x = x
+        self._y_raw = y
+        self._y_mean = float(np.mean(y))
+        self._y_std = float(np.std(y))
+        if self._y_std < 1e-12:
+            self._y_std = 1.0
+        self._y = (y - self._y_mean) / self._y_std
+        self._refactor()
+        return self
+
+    def _refactor(self) -> None:
+        """Recompute the Cholesky factor for the current hyper-parameters."""
+        assert self._x is not None and self._y is not None
+        k = self.kernel(self._x, self._x)
+        k[np.diag_indices_from(k)] += self.noise_variance + _JITTER
+        self._chol = cho_factor(k, lower=True)
+        self._alpha = cho_solve(self._chol, self._y)
+
+    def predict(self, x_star: np.ndarray, return_std: bool = True):
+        """Posterior mean (and optionally standard deviation) at ``x_star``.
+
+        Outputs are de-standardized back to raw target units.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("predict() called before fit()")
+        x_star = np.atleast_2d(np.asarray(x_star, dtype=float))
+        k_star = self.kernel(self._x, x_star)
+        mean = k_star.T @ self._alpha
+        mean = mean * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = cho_solve(self._chol, k_star)
+        var = self.kernel.diag(x_star) + self.noise_variance - np.sum(k_star * v, axis=0)
+        std = np.sqrt(np.maximum(var, 1e-12)) * self._y_std
+        return mean, std
+
+    # ------------------------------------------------------------------
+    # Hyper-parameters (for EI-MCMC)
+    # ------------------------------------------------------------------
+    @property
+    def n_hyperparameters(self) -> int:
+        return self.kernel.n_params + 1
+
+    def get_theta(self) -> np.ndarray:
+        return np.concatenate((self.kernel.get_theta(), [np.log(self.noise_variance)]))
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=float)
+        if theta.shape != (self.n_hyperparameters,):
+            raise ValueError(f"expected {self.n_hyperparameters} hyper-parameters")
+        self.kernel.set_theta(theta[:-1])
+        self.noise_variance = float(np.exp(theta[-1]))
+        if self.is_fitted:
+            self._refactor()
+
+    def log_marginal_likelihood(self, theta: np.ndarray | None = None) -> float:
+        """LML of the (standardized) training targets.
+
+        With ``theta`` given, evaluates at those hyper-parameters without
+        permanently changing the model state.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("log_marginal_likelihood() called before fit()")
+        if theta is not None:
+            saved = self.get_theta()
+            try:
+                self.set_theta(np.asarray(theta, dtype=float))
+                return self.log_marginal_likelihood()
+            finally:
+                self.set_theta(saved)
+        assert self._chol is not None and self._alpha is not None and self._y is not None
+        lower = self._chol[0]
+        log_det = 2.0 * float(np.sum(np.log(np.diag(lower))))
+        n = self._y.shape[0]
+        return float(-0.5 * self._y @ self._alpha - 0.5 * log_det - 0.5 * n * np.log(2.0 * np.pi))
+
+    def clone_with_theta(self, theta: np.ndarray) -> "GaussianProcess":
+        """An independent fitted copy at the given hyper-parameters."""
+        gp = GaussianProcess(self.kernel.clone(), self.noise_variance)
+        if self.is_fitted:
+            gp.fit(self._x, self._y_raw)
+        gp.set_theta(np.asarray(theta, dtype=float))
+        return gp

@@ -1,0 +1,104 @@
+"""Covariance kernels for Gaussian process regression.
+
+Kernels expose their hyper-parameters as a flat log-space vector (``theta``)
+so the slice sampler in :mod:`repro.bo.mcmc` can treat every kernel
+uniformly.  Layout: ``theta = [log signal_variance, log lengthscale_1, ...,
+log lengthscale_d]`` (ARD: one lengthscale per input dimension).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SQRT5 = np.sqrt(5.0)
+
+
+def _sq_dists(x1: np.ndarray, x2: np.ndarray, lengthscales: np.ndarray) -> np.ndarray:
+    """Pairwise squared distances after per-dimension scaling."""
+    a = x1 / lengthscales
+    b = x2 / lengthscales
+    aa = np.sum(a * a, axis=1)[:, None]
+    bb = np.sum(b * b, axis=1)[None, :]
+    sq = aa + bb - 2.0 * a @ b.T
+    return np.maximum(sq, 0.0)
+
+
+class RBFKernel:
+    """Squared-exponential kernel with ARD lengthscales."""
+
+    def __init__(self, dim: int, signal_variance: float = 1.0, lengthscale: float = 0.5):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.signal_variance = float(signal_variance)
+        self.lengthscales = np.full(dim, float(lengthscale))
+
+    @property
+    def n_params(self) -> int:
+        return 1 + self.dim
+
+    def get_theta(self) -> np.ndarray:
+        return np.concatenate(([np.log(self.signal_variance)], np.log(self.lengthscales)))
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=float)
+        if theta.shape != (self.n_params,):
+            raise ValueError(f"expected {self.n_params} parameters, got {theta.shape}")
+        self.signal_variance = float(np.exp(theta[0]))
+        self.lengthscales = np.exp(theta[1:])
+
+    def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        sq = _sq_dists(np.atleast_2d(x1), np.atleast_2d(x2), self.lengthscales)
+        return self.signal_variance * np.exp(-0.5 * sq)
+
+    def diag(self, x: np.ndarray) -> np.ndarray:
+        return np.full(np.atleast_2d(x).shape[0], self.signal_variance)
+
+    def clone(self) -> "RBFKernel":
+        kernel = RBFKernel(self.dim, self.signal_variance)
+        kernel.lengthscales = self.lengthscales.copy()
+        return kernel
+
+
+class Matern52Kernel:
+    """Matern 5/2 kernel with ARD lengthscales.
+
+    The standard choice for hyper-parameter/configuration tuning because
+    it does not assume the unrealistic infinite smoothness of the RBF
+    (Snoek et al. 2012).
+    """
+
+    def __init__(self, dim: int, signal_variance: float = 1.0, lengthscale: float = 0.5):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.signal_variance = float(signal_variance)
+        self.lengthscales = np.full(dim, float(lengthscale))
+
+    @property
+    def n_params(self) -> int:
+        return 1 + self.dim
+
+    def get_theta(self) -> np.ndarray:
+        return np.concatenate(([np.log(self.signal_variance)], np.log(self.lengthscales)))
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=float)
+        if theta.shape != (self.n_params,):
+            raise ValueError(f"expected {self.n_params} parameters, got {theta.shape}")
+        self.signal_variance = float(np.exp(theta[0]))
+        self.lengthscales = np.exp(theta[1:])
+
+    def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        sq = _sq_dists(np.atleast_2d(x1), np.atleast_2d(x2), self.lengthscales)
+        r = np.sqrt(sq)
+        term = 1.0 + _SQRT5 * r + (5.0 / 3.0) * sq
+        return self.signal_variance * term * np.exp(-_SQRT5 * r)
+
+    def diag(self, x: np.ndarray) -> np.ndarray:
+        return np.full(np.atleast_2d(x).shape[0], self.signal_variance)
+
+    def clone(self) -> "Matern52Kernel":
+        kernel = Matern52Kernel(self.dim, self.signal_variance)
+        kernel.lengthscales = self.lengthscales.copy()
+        return kernel

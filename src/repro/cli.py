@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tune`` — run LOCAT on a benchmark and print (or save) the tuned
+  configuration as spark-defaults.conf;
+* ``qcsa`` — standalone query-sensitivity analysis (Figure 8 style);
+* ``compare`` — LOCAT vs the four baselines on one benchmark;
+* ``simulate`` — run one configuration and print the metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import LOCAT, SparkSQLObjective
+from repro.core.export import diff_configs, to_spark_defaults_conf
+from repro.core.qcsa import QCSA, analyze_samples
+from repro.harness.report import format_table
+from repro.sparksim import SparkSQLSimulator, get_application, list_benchmarks
+from repro.sparksim.cluster import get_cluster
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmark", default="tpcds", choices=list_benchmarks(),
+        help="workload to run (default: tpcds)",
+    )
+    parser.add_argument(
+        "--cluster", default="x86", choices=("arm", "x86"),
+        help="simulated cluster (default: x86)",
+    )
+    parser.add_argument("--datasize", type=float, default=300.0, help="input size in GB")
+    parser.add_argument("--seed", type=int, default=1, help="random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LOCAT (SIGMOD 2022) reproduction: tune Spark SQL configurations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tune = sub.add_parser("tune", help="tune a benchmark with LOCAT")
+    _add_common(tune)
+    tune.add_argument("--iterations", type=int, default=25, help="max BO iterations")
+    tune.add_argument("--output", help="write spark-defaults.conf here")
+
+    qcsa = sub.add_parser("qcsa", help="query configuration sensitivity analysis")
+    _add_common(qcsa)
+    qcsa.add_argument("--samples", type=int, default=30, help="number of random runs")
+
+    compare = sub.add_parser("compare", help="LOCAT vs the SOTA baselines")
+    _add_common(compare)
+
+    simulate = sub.add_parser("simulate", help="run one configuration")
+    _add_common(simulate)
+    simulate.add_argument(
+        "--set", action="append", default=[], metavar="NAME=VALUE",
+        help="override a parameter (repeatable), e.g. --set sql.shuffle.partitions=800",
+    )
+    return parser
+
+
+def _make(args) -> tuple[SparkSQLSimulator, object]:
+    simulator = SparkSQLSimulator(get_cluster(args.cluster))
+    return simulator, get_application(args.benchmark)
+
+
+def cmd_tune(args) -> int:
+    simulator, app = _make(args)
+    print(f"Tuning {app.name} at {args.datasize:.0f} GB on the {args.cluster} cluster...")
+    locat = LOCAT(simulator, app, rng=args.seed, max_iterations=args.iterations)
+    result = locat.tune(args.datasize)
+    print(result.summary())
+
+    changed = diff_configs(simulator.space.default(), result.best_config)
+    rows = [[k, a, b] for k, (a, b) in sorted(changed.items())]
+    print(format_table(["parameter", "default", "tuned"], rows, title="Changed parameters"))
+
+    conf = to_spark_defaults_conf(
+        result.best_config,
+        header=(
+            f"Tuned by LOCAT reproduction for {app.name} @ {args.datasize:.0f} GB\n"
+            f"best observed duration: {result.best_duration_s:.1f}s; "
+            f"optimization cost: {result.overhead_hours:.2f}h"
+        ),
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(conf)
+        print(f"\nwrote {args.output}")
+    else:
+        print("\n" + conf)
+    return 0
+
+
+def cmd_qcsa(args) -> int:
+    simulator, app = _make(args)
+    objective = SparkSQLObjective(simulator, app, rng=args.seed)
+    print(f"Running {app.name} {args.samples} times with random configurations...")
+    samples = QCSA(n_samples=args.samples).collect(objective, args.datasize, rng=args.seed)
+    result = analyze_samples(samples)
+    ranked = sorted(result.cvs.items(), key=lambda kv: -kv[1])
+    rows = [[n, cv, "CSQ" if n in result.csq else "CIQ"] for n, cv in ranked]
+    print(format_table(["query", "CV", "class"], rows, title="Query configuration sensitivity"))
+    print(
+        f"\nCSQ {len(result.csq)} / CIQ {len(result.ciq)}; threshold {result.threshold:.2f}; "
+        f"RQA keeps {100 * (1 - result.reduction_ratio):.0f}% of the queries"
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.harness.experiment import compare_tuners
+
+    print(f"Comparing tuners on {args.benchmark} @ {args.datasize:.0f} GB "
+          f"({args.cluster})... this runs thousands of simulated jobs")
+    comparison = compare_tuners(
+        benchmark=args.benchmark,
+        cluster=args.cluster,
+        datasize_gb=args.datasize,
+        seed=args.seed,
+    )
+    rows = []
+    for name, result in comparison.results.items():
+        rows.append([
+            name,
+            result.best_duration_s,
+            result.overhead_hours,
+            result.evaluations,
+            "-" if name == "LOCAT" else f"{comparison.overhead_ratio(name):.1f}x",
+        ])
+    print(format_table(
+        ["tuner", "tuned time (s)", "overhead (h)", "runs", "overhead vs LOCAT"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    simulator, app = _make(args)
+    overrides = {}
+    for item in args.set:
+        if "=" not in item:
+            print(f"bad --set value {item!r}; expected NAME=VALUE", file=sys.stderr)
+            return 2
+        name, _, raw = item.partition("=")
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            value = float(raw)
+        overrides[name] = value
+    try:
+        config = simulator.space.make(**overrides)
+    except ValueError as exc:
+        print(f"invalid parameter: {exc}", file=sys.stderr)
+        return 2
+    metrics = simulator.run(app, config, args.datasize, rng=args.seed)
+    slowest = sorted(metrics.queries, key=lambda q: -q.duration_s)[:10]
+    rows = [[q.name, q.duration_s, q.gc_s, q.shuffle_bytes_gb] for q in slowest]
+    print(format_table(
+        ["query", "duration (s)", "GC (s)", "shuffle GB"],
+        rows,
+        title=f"{app.name} @ {args.datasize:.0f} GB — slowest 10 queries",
+    ))
+    print(f"\ntotal {metrics.duration_s:.1f}s, GC {metrics.gc_s:.1f}s, "
+          f"{len(metrics.failed_queries)} failed queries")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "tune": cmd_tune,
+        "qcsa": cmd_qcsa,
+        "compare": cmd_compare,
+        "simulate": cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""LOCAT core: the paper's primary contribution.
+
+* :mod:`repro.core.qcsa` — Query Configuration Sensitivity Analysis,
+* :mod:`repro.core.iicp` — Identifying Important Configuration
+  Parameters (CPS via Spearman correlation + CPE via Kernel PCA),
+* :mod:`repro.core.dagp` — the Datasize-Aware Gaussian Process surrogate,
+* :mod:`repro.core.tuner` — the EI-MCMC BO loop with LOCAT's stop rule,
+* :mod:`repro.core.locat` — the end-to-end orchestrator.
+"""
+
+from repro.core.dagp import DatasizeAwareGP
+from repro.core.iicp import CPEResult, CPSResult, IICP, IICPResult
+from repro.core.locat import LOCAT
+from repro.core.objective import SparkSQLObjective, Trial
+from repro.core.qcsa import QCSA, QCSAResult
+from repro.core.result import TuningResult
+
+__all__ = [
+    "CPEResult",
+    "CPSResult",
+    "DatasizeAwareGP",
+    "IICP",
+    "IICPResult",
+    "LOCAT",
+    "QCSA",
+    "QCSAResult",
+    "SparkSQLObjective",
+    "Trial",
+    "TuningResult",
+]

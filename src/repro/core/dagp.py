@@ -1,0 +1,148 @@
+"""Datasize-Aware Gaussian Process (paper section 3.4).
+
+DAGP models execution time as ``t = f(conf, ds)`` (equation (7)): the GP
+input is the tuned representation of the configuration (raw encoded
+parameters or IICP latents) concatenated with a normalized datasize
+coordinate.  Because datasize is part of the input, observations at one
+datasize inform predictions at another — the property that lets LOCAT
+avoid re-tuning when the input data grows.
+
+Execution times are modelled in log space: the simulator's (and real
+Spark's) response surface is multiplicative (penalties compound), and a
+log-space GP is far better calibrated on such targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bo.acquisition import expected_improvement
+from repro.bo.gp import GaussianProcess
+from repro.bo.kernels import Matern52Kernel
+from repro.bo.mcmc import slice_sample_hyperparameters
+from repro.stats.sampling import ensure_rng
+
+#: Datasize normalization reference: 1 TB, the largest size the paper uses.
+DATASIZE_REFERENCE_GB = 1024.0
+
+
+def normalize_datasize(datasize_gb: float | np.ndarray) -> np.ndarray:
+    """Map datasize in GB to a [0, ~1] coordinate (linear in TB)."""
+    return np.asarray(datasize_gb, dtype=float) / DATASIZE_REFERENCE_GB
+
+
+class DatasizeAwareGP:
+    """GP over (configuration representation, datasize) -> log time.
+
+    ``n_mcmc`` controls the EI-MCMC marginalization: acquisition values
+    are averaged over that many posterior hyper-parameter samples (0
+    disables marginalization and uses the current point estimate).
+    """
+
+    def __init__(self, config_dim: int, n_mcmc: int = 8, noise_variance: float = 1e-3):
+        if config_dim <= 0:
+            raise ValueError("config_dim must be positive")
+        self.config_dim = config_dim
+        self.n_mcmc = n_mcmc
+        kernel = Matern52Kernel(dim=config_dim + 1, lengthscale=0.5)
+        self.gp = GaussianProcess(kernel, noise_variance=noise_variance)
+        self._x: np.ndarray | None = None
+        self._log_t: np.ndarray | None = None
+        self._theta_samples: list[np.ndarray] = []
+        self._models: list[GaussianProcess] = []
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _join(config_points: np.ndarray, datasizes_gb: np.ndarray) -> np.ndarray:
+        config_points = np.atleast_2d(np.asarray(config_points, dtype=float))
+        ds = normalize_datasize(np.asarray(datasizes_gb, dtype=float).ravel())
+        if config_points.shape[0] != ds.shape[0]:
+            raise ValueError("config_points and datasizes must have equal length")
+        return np.hstack([config_points, ds[:, None]])
+
+    def fit(
+        self,
+        config_points: np.ndarray,
+        datasizes_gb: np.ndarray,
+        durations_s: np.ndarray,
+        rng: int | np.random.Generator | None = None,
+    ) -> "DatasizeAwareGP":
+        """Fit on X_E = {conf, ds} with targets log(t) (equations (8)-(10))."""
+        durations = np.asarray(durations_s, dtype=float).ravel()
+        if np.any(durations <= 0):
+            raise ValueError("durations must be positive")
+        x = self._join(config_points, datasizes_gb)
+        if x.shape[1] != self.config_dim + 1:
+            raise ValueError(f"expected config dim {self.config_dim}, got {x.shape[1] - 1}")
+        self._x = x
+        self._log_t = np.log(durations)
+        self.gp.fit(x, self._log_t)
+        if self.n_mcmc > 0 and x.shape[0] >= 4:
+            self._theta_samples = slice_sample_hyperparameters(
+                self.gp, n_samples=self.n_mcmc, rng=ensure_rng(rng)
+            )
+            # Materialize the fitted per-sample models once; acquisition
+            # is called hundreds of times per BO iteration.
+            self._models = [self.gp.clone_with_theta(t) for t in self._theta_samples]
+        else:
+            self._theta_samples = []
+            self._models = []
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._x is not None
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        config_points: np.ndarray,
+        datasize_gb: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean/std of log execution time at one datasize."""
+        if not self.is_fitted:
+            raise RuntimeError("predict() called before fit()")
+        config_points = np.atleast_2d(np.asarray(config_points, dtype=float))
+        ds = np.full(config_points.shape[0], float(datasize_gb))
+        x = self._join(config_points, ds)
+        return self.gp.predict(x)
+
+    def predict_duration(self, config_points: np.ndarray, datasize_gb: float) -> np.ndarray:
+        """Posterior median execution time in seconds."""
+        mean, _ = self.predict(config_points, datasize_gb)
+        return np.exp(mean)
+
+    # ------------------------------------------------------------------
+    # EI-MCMC acquisition
+    # ------------------------------------------------------------------
+    def acquisition(
+        self,
+        config_points: np.ndarray,
+        datasize_gb: float,
+        best_duration_s: float,
+    ) -> np.ndarray:
+        """EI (to maximize) marginalized over hyper-parameter samples.
+
+        ``best_duration_s`` is the incumbent at the *target datasize*;
+        EI is computed on log durations for scale robustness.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("acquisition() called before fit()")
+        config_points = np.atleast_2d(np.asarray(config_points, dtype=float))
+        ds = np.full(config_points.shape[0], float(datasize_gb))
+        x = self._join(config_points, ds)
+        best_log = float(np.log(max(best_duration_s, 1e-9)))
+
+        if not self._models:
+            mean, std = self.gp.predict(x)
+            return expected_improvement(mean, std, best_log)
+
+        total = np.zeros(x.shape[0])
+        for model in self._models:
+            mean, std = model.predict(x)
+            total += expected_improvement(mean, std, best_log)
+        return total / len(self._models)

@@ -1,0 +1,78 @@
+"""Export tuned configurations in the formats Spark deployments consume.
+
+A tuner's output is only useful once it reaches ``spark-submit`` or
+``spark-defaults.conf``; this module renders a
+:class:`~repro.sparksim.configspace.Configuration` both ways, restoring
+the ``spark.`` prefix and the units Table 2 specifies (sizes carry their
+``m``/``g``/``k`` suffixes, booleans become ``true``/``false``).
+"""
+
+from __future__ import annotations
+
+from repro.sparksim.configspace import PARAMETERS, Configuration
+
+#: Unit suffix appended to each parameter's value in Spark notation.
+_UNIT_SUFFIX = {
+    "MB": "m",
+    "KB": "k",
+    "GB": "g",
+}
+
+#: Parameters whose numeric value is dimensionless even though the
+#: sibling parameters in their group carry units.
+_SECONDS = {"locality.wait", "scheduler.revive.interval"}
+
+
+def _spark_value(name: str, value) -> str:
+    """Render one parameter value in spark-defaults notation."""
+    param = next(p for p in PARAMETERS if p.name == name)
+    if param.kind == "bool":
+        return "true" if value else "false"
+    if name in _SECONDS:
+        return f"{int(value)}s"
+    suffix = _UNIT_SUFFIX.get(param.unit, "")
+    if param.kind == "float":
+        return f"{float(value):g}"
+    return f"{int(value)}{suffix}"
+
+
+def to_spark_properties(config: Configuration) -> dict[str, str]:
+    """Configuration -> {'spark.executor.memory': '16g', ...}."""
+    return {f"spark.{name}": _spark_value(name, value) for name, value in config.items()}
+
+
+def to_spark_defaults_conf(config: Configuration, header: str = "") -> str:
+    """Render a spark-defaults.conf file body.
+
+    ``header`` is an optional comment block (e.g. the tuning provenance).
+    """
+    lines = []
+    if header:
+        lines.extend(f"# {line}" for line in header.splitlines())
+    properties = to_spark_properties(config)
+    width = max(len(k) for k in properties)
+    for key in sorted(properties):
+        lines.append(f"{key.ljust(width)}  {properties[key]}")
+    return "\n".join(lines) + "\n"
+
+
+def to_spark_submit_args(config: Configuration) -> list[str]:
+    """Render ``--conf key=value`` arguments for spark-submit."""
+    properties = to_spark_properties(config)
+    args: list[str] = []
+    for key in sorted(properties):
+        args.extend(["--conf", f"{key}={properties[key]}"])
+    return args
+
+
+def diff_configs(base: Configuration, tuned: Configuration) -> dict[str, tuple[str, str]]:
+    """Parameters whose values changed, as rendered Spark values.
+
+    Returns ``{spark.<name>: (base_value, tuned_value)}`` — handy for
+    reviewing what a tuning session actually decided.
+    """
+    out: dict[str, tuple[str, str]] = {}
+    for name in base:
+        if base[name] != tuned[name]:
+            out[f"spark.{name}"] = (_spark_value(name, base[name]), _spark_value(name, tuned[name]))
+    return out

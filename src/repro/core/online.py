@@ -1,0 +1,178 @@
+"""Online tuning controller: when should LOCAT (re)tune?
+
+The paper's deployment story (section 3.1) is an application that "runs
+repeatedly many times with the size of input data changing over time".
+This controller wraps a :class:`~repro.core.locat.LOCAT` instance and
+watches the production runs: each incoming (datasize, duration)
+observation is checked against the DAGP-backed expectation for the
+currently deployed configuration, and a tuning session is triggered
+when
+
+* a datasize arrives that is far from anything tuned so far, or
+* measured durations drift above the expectation (the model of the
+  deployed config is stale — data distribution or cluster changed).
+
+This is the glue a production user needs around the core algorithm; the
+paper leaves it implicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.locat import LOCAT
+from repro.core.result import TuningResult
+from repro.sparksim.configspace import Configuration
+
+
+@dataclass
+class OnlineDecision:
+    """What the controller did with one production observation."""
+
+    datasize_gb: float
+    duration_s: float
+    retuned: bool
+    reason: str
+    config: Configuration
+    result: TuningResult | None = None
+
+
+@dataclass
+class _DeployedState:
+    config: Configuration
+    tuned_datasizes: list[float] = field(default_factory=list)
+    recent_ratios: list[float] = field(default_factory=list)
+
+
+class OnlineController:
+    """Drives LOCAT from a stream of production runs.
+
+    ``datasize_margin`` — relative distance to the nearest tuned
+    datasize beyond which a new size triggers adaptation (default 30%:
+    tuned at 300 GB covers ~210-390 GB).
+    ``drift_factor`` / ``drift_patience`` — re-tune after ``patience``
+    consecutive runs slower than ``factor`` times the expected duration.
+    """
+
+    def __init__(
+        self,
+        locat: LOCAT,
+        datasize_margin: float = 0.3,
+        drift_factor: float = 1.3,
+        drift_patience: int = 3,
+    ):
+        if datasize_margin <= 0:
+            raise ValueError("datasize_margin must be positive")
+        if drift_factor <= 1.0:
+            raise ValueError("drift_factor must exceed 1.0")
+        if drift_patience < 1:
+            raise ValueError("drift_patience must be at least 1")
+        self.locat = locat
+        self.datasize_margin = datasize_margin
+        self.drift_factor = drift_factor
+        self.drift_patience = drift_patience
+        self._state: _DeployedState | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_deployed(self) -> bool:
+        return self._state is not None
+
+    @property
+    def deployed_config(self) -> Configuration:
+        if self._state is None:
+            raise RuntimeError("no configuration deployed yet; call observe()")
+        return self._state.config
+
+    def _expected_duration(self, datasize_gb: float) -> float | None:
+        """Expected RQA-scaled duration of the deployed config at a size.
+
+        Uses the nearest tuned datasize's observed duration with linear
+        datasize scaling — deliberately simple and conservative.
+        """
+        assert self._state is not None
+        observations = [
+            o for o in self.locat._observations if o.config == self._state.config
+        ]
+        if not observations:
+            return None
+        nearest = min(observations, key=lambda o: abs(o.datasize_gb - datasize_gb))
+        return nearest.rqa_duration_s * datasize_gb / nearest.datasize_gb
+
+    # ------------------------------------------------------------------
+    def observe(self, datasize_gb: float, duration_s: float | None = None) -> OnlineDecision:
+        """Process one production run request.
+
+        ``duration_s`` is the measured duration of the *previous* run of
+        the deployed configuration at this datasize (None for the first
+        call or when measurements are unavailable).  Returns the decision
+        with the configuration to use for this run.
+        """
+        if datasize_gb <= 0:
+            raise ValueError("datasize_gb must be positive")
+
+        if self._state is None:
+            result = self.locat.tune(datasize_gb)
+            self._state = _DeployedState(
+                config=result.best_config, tuned_datasizes=[datasize_gb]
+            )
+            return OnlineDecision(
+                datasize_gb=datasize_gb,
+                duration_s=duration_s or result.best_duration_s,
+                retuned=True,
+                reason="initial tuning session",
+                config=result.best_config,
+                result=result,
+            )
+
+        state = self._state
+        nearest = min(state.tuned_datasizes, key=lambda d: abs(d - datasize_gb))
+        relative_gap = abs(datasize_gb - nearest) / nearest
+        if relative_gap > self.datasize_margin:
+            result = self.locat.tune(datasize_gb)
+            state.config = result.best_config
+            state.tuned_datasizes.append(datasize_gb)
+            state.recent_ratios.clear()
+            return OnlineDecision(
+                datasize_gb=datasize_gb,
+                duration_s=duration_s or result.best_duration_s,
+                retuned=True,
+                reason=f"datasize {datasize_gb:.0f}GB is {relative_gap:.0%} from "
+                f"nearest tuned size {nearest:.0f}GB",
+                config=result.best_config,
+                result=result,
+            )
+
+        if duration_s is not None:
+            expected = self._expected_duration(datasize_gb)
+            if expected is not None:
+                state.recent_ratios.append(duration_s / max(expected, 1e-9))
+                state.recent_ratios = state.recent_ratios[-self.drift_patience :]
+                drifted = len(state.recent_ratios) >= self.drift_patience and all(
+                    r > self.drift_factor for r in state.recent_ratios
+                )
+                if drifted:
+                    result = self.locat.tune(datasize_gb)
+                    state.config = result.best_config
+                    if datasize_gb not in state.tuned_datasizes:
+                        state.tuned_datasizes.append(datasize_gb)
+                    state.recent_ratios.clear()
+                    return OnlineDecision(
+                        datasize_gb=datasize_gb,
+                        duration_s=duration_s,
+                        retuned=True,
+                        reason=f"{self.drift_patience} consecutive runs over "
+                        f"{self.drift_factor:.1f}x the expected duration",
+                        config=result.best_config,
+                        result=result,
+                    )
+
+        return OnlineDecision(
+            datasize_gb=datasize_gb,
+            duration_s=duration_s or float("nan"),
+            retuned=False,
+            reason="deployed configuration still valid",
+            config=state.config,
+        )

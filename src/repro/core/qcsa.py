@@ -1,0 +1,135 @@
+"""Query Configuration Sensitivity Analysis (paper section 3.2).
+
+QCSA runs an application ``N_QCSA`` times with varying configurations,
+computes each query's coefficient of variation (CV) of execution time
+(equation (3)), splits the CV range into three equal-width bands
+(equation (4)), and labels queries in the bottom band configuration-
+insensitive (CIQ).  Removing CIQs yields the Reduced Query Application
+(RQA) whose optimal configuration matches the original application's.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.objective import SparkSQLObjective
+from repro.stats.descriptive import coefficient_of_variation
+from repro.stats.sampling import ensure_rng
+
+#: The paper's empirically determined sample count (section 5.1, Figure 7).
+DEFAULT_N_QCSA = 30
+
+
+@dataclass(frozen=True)
+class QCSAResult:
+    """Outcome of a sensitivity analysis.
+
+    ``cvs`` maps query name to CV; ``csq``/``ciq`` partition the query
+    names (order preserved from the application); ``threshold`` is the
+    CIQ/CSQ boundary (``min + width``, equation (4)).
+    """
+
+    cvs: dict[str, float]
+    csq: tuple[str, ...]
+    ciq: tuple[str, ...]
+    threshold: float
+    n_samples: int
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of queries eliminated."""
+        total = len(self.csq) + len(self.ciq)
+        return len(self.ciq) / total if total else 0.0
+
+
+def classify_queries(cvs: Mapping[str, float], n_samples: int = 0) -> QCSAResult:
+    """Partition queries by the paper's three-band CV rule.
+
+    The CV range is split into three equal-width bands; queries whose CV
+    falls in ``[0, min + width)`` are CIQ, everything else CSQ.  With a
+    single query (HiBench apps) the query is always CSQ — an application
+    cannot be reduced to nothing.
+    """
+    if not cvs:
+        raise ValueError("cvs must not be empty")
+    names = list(cvs)
+    if len(names) == 1:
+        return QCSAResult(
+            cvs=dict(cvs), csq=(names[0],), ciq=(), threshold=0.0, n_samples=n_samples
+        )
+    values = np.array([cvs[n] for n in names], dtype=float)
+    low, high = float(values.min()), float(values.max())
+    width = (high - low) / 3.0
+    threshold = low + width
+    csq = tuple(n for n in names if cvs[n] >= threshold)
+    ciq = tuple(n for n in names if cvs[n] < threshold)
+    if not csq:  # degenerate: all queries identical; keep everything
+        return QCSAResult(dict(cvs), tuple(names), (), threshold, n_samples)
+    return QCSAResult(dict(cvs), csq, ciq, threshold, n_samples)
+
+
+def analyze_samples(samples: Mapping[str, Sequence[float]]) -> QCSAResult:
+    """QCSA over an already-collected matrix S = {t_q_ij} (equation (2)).
+
+    ``samples`` maps each query name to its execution times across the
+    N_QCSA runs.
+    """
+    if not samples:
+        raise ValueError("samples must not be empty")
+    lengths = {len(v) for v in samples.values()}
+    if len(lengths) != 1:
+        raise ValueError("all queries must have the same number of samples")
+    n = lengths.pop()
+    if n < 2:
+        raise ValueError("QCSA needs at least two runs per query")
+    cvs = {name: coefficient_of_variation(times) for name, times in samples.items()}
+    return classify_queries(cvs, n_samples=n)
+
+
+class QCSA:
+    """Standalone QCSA driver: collect samples with random configurations.
+
+    Inside the full LOCAT pipeline, the samples come from the first BO
+    iterations (section 5.1 note); this driver exists for the paper's
+    standalone analyses (Figures 7 and 8) and reuses the same math via
+    :func:`analyze_samples`.
+    """
+
+    def __init__(self, n_samples: int = DEFAULT_N_QCSA):
+        if n_samples < 2:
+            raise ValueError("n_samples must be at least 2")
+        self.n_samples = n_samples
+
+    def collect(
+        self,
+        objective: SparkSQLObjective,
+        datasize_gb: float,
+        rng: int | np.random.Generator | None = None,
+    ) -> dict[str, list[float]]:
+        """Run the application ``n_samples`` times with random configs.
+
+        Configurations come from a Latin hypercube: space-filling random
+        coverage keeps the CV estimates stable at the paper's N=30.
+        """
+        from repro.bo.lhs import latin_hypercube
+
+        gen = ensure_rng(rng)
+        samples: dict[str, list[float]] = {q: [] for q in objective.app.query_names}
+        for point in latin_hypercube(self.n_samples, objective.space.dim, gen):
+            config = objective.space.decode(point)
+            trial = objective.run(config, datasize_gb)
+            for query in trial.metrics.queries:
+                samples[query.name].append(query.duration_s)
+        return samples
+
+    def run(
+        self,
+        objective: SparkSQLObjective,
+        datasize_gb: float,
+        rng: int | np.random.Generator | None = None,
+    ) -> QCSAResult:
+        """Collect samples and classify queries."""
+        return analyze_samples(self.collect(objective, datasize_gb, rng))

@@ -1,0 +1,41 @@
+"""Result records returned by tuners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sparksim.configspace import Configuration
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one tuning session.
+
+    ``best_duration_s`` is the best *full-application* execution time
+    observed for ``best_config``; ``overhead_s`` is the total simulated
+    time spent collecting samples (the optimization cost the paper
+    reports in hours); ``evaluations`` counts objective runs.
+    ``details`` carries tuner-specific extras (QCSA split, selected
+    parameters, iteration traces) for the figure harnesses.
+    """
+
+    tuner: str
+    application: str
+    datasize_gb: float
+    best_config: Configuration
+    best_duration_s: float
+    overhead_s: float
+    evaluations: int
+    details: dict = field(default_factory=dict)
+
+    @property
+    def overhead_hours(self) -> float:
+        return self.overhead_s / 3600.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.tuner} on {self.application}@{self.datasize_gb:.0f}GB: "
+            f"best {self.best_duration_s:.1f}s after {self.evaluations} runs "
+            f"({self.overhead_hours:.2f}h overhead)"
+        )

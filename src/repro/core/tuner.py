@@ -1,0 +1,183 @@
+"""The BO loop: LHS start points, EI-MCMC iterations, LOCAT's stop rule.
+
+The loop is space-agnostic: it searches an axis-aligned box (the unit
+hypercube for raw encoded configurations, or the IICP latent box) and
+delegates evaluation to a caller-provided function, so LOCAT, the
+ablations, and the BO-based baselines all share it.
+
+Stop condition (paper section 3.4): at least ``min_iterations`` BO
+iterations, then stop once the maximal expected improvement drops below
+``ei_threshold``.  Because the surrogate models *log* durations, an EI
+below 0.1 literally means "under ~10% expected improvement", matching
+the paper's "EI drops below 10%" rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bo.lhs import latin_hypercube
+from repro.bo.optimize import maximize_acquisition
+from repro.core.dagp import DatasizeAwareGP
+from repro.stats.sampling import ensure_rng
+
+#: Paper defaults (section 3.4).
+DEFAULT_N_INIT = 3
+DEFAULT_MIN_ITERATIONS = 10
+DEFAULT_EI_THRESHOLD = 0.1
+
+
+@dataclass
+class BOTrace:
+    """Everything the BO loop observed, in evaluation order."""
+
+    points: list[np.ndarray] = field(default_factory=list)
+    datasizes: list[float] = field(default_factory=list)
+    durations: list[float] = field(default_factory=list)
+    ei_values: list[float] = field(default_factory=list)
+    stopped_by_ei: bool = False
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.durations)
+
+    def best(self, datasize_gb: float | None = None) -> tuple[np.ndarray, float]:
+        """Best (point, duration); optionally restricted to one datasize."""
+        if not self.durations:
+            raise RuntimeError("no evaluations recorded")
+        indices = range(len(self.durations))
+        if datasize_gb is not None:
+            restricted = [i for i in indices if self.datasizes[i] == datasize_gb]
+            indices = restricted or list(range(len(self.durations)))
+        best_i = min(indices, key=lambda i: self.durations[i])
+        return self.points[best_i], self.durations[best_i]
+
+
+class BOLoop:
+    """Expected-improvement BO over a box, with datasize-aware surrogate.
+
+    ``bounds`` is a (low, high) pair of arrays; omit it for the unit
+    hypercube.  ``n_mcmc=0`` disables hyper-parameter marginalization
+    (the plain-EI ablation).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        bounds: tuple[np.ndarray, np.ndarray] | None = None,
+        n_init: int = DEFAULT_N_INIT,
+        min_iterations: int = DEFAULT_MIN_ITERATIONS,
+        max_iterations: int = 40,
+        ei_threshold: float = DEFAULT_EI_THRESHOLD,
+        n_mcmc: int = 8,
+        n_candidates: int = 384,
+        rng: int | np.random.Generator | None = None,
+    ):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        n_init = min(n_init, max_iterations)  # small budgets shrink the design
+        self.dim = dim
+        if bounds is None:
+            self.low = np.zeros(dim)
+            self.high = np.ones(dim)
+        else:
+            self.low = np.asarray(bounds[0], dtype=float)
+            self.high = np.asarray(bounds[1], dtype=float)
+            if self.low.shape != (dim,) or self.high.shape != (dim,):
+                raise ValueError("bounds must match dim")
+            if np.any(self.high <= self.low):
+                raise ValueError("bounds must have positive extent")
+        self.n_init = n_init
+        self.min_iterations = min_iterations
+        self.max_iterations = max_iterations
+        self.ei_threshold = ei_threshold
+        self.n_mcmc = n_mcmc
+        self.n_candidates = n_candidates
+        self.rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------
+    def _to_unit(self, points: np.ndarray) -> np.ndarray:
+        return (np.atleast_2d(points) - self.low) / (self.high - self.low)
+
+    def _from_unit(self, unit: np.ndarray) -> np.ndarray:
+        return self.low + np.asarray(unit, dtype=float) * (self.high - self.low)
+
+    # ------------------------------------------------------------------
+    def minimize(
+        self,
+        evaluate: Callable[[np.ndarray, float], float],
+        datasize_gb: float,
+        warm_points: np.ndarray | None = None,
+        warm_datasizes: np.ndarray | None = None,
+        warm_durations: np.ndarray | None = None,
+    ) -> BOTrace:
+        """Run BO at ``datasize_gb``; warm data seeds the surrogate.
+
+        ``evaluate(point, datasize)`` must return a positive duration.
+        Warm observations (possibly at other datasizes — the DAGP
+        transfer) count toward the surrogate but not the iteration or
+        stop-rule budget.
+        """
+        trace = BOTrace()
+        if warm_points is not None:
+            warm_points = np.atleast_2d(np.asarray(warm_points, dtype=float))
+            warm_datasizes = np.asarray(warm_datasizes, dtype=float).ravel()
+            warm_durations = np.asarray(warm_durations, dtype=float).ravel()
+            if not (len(warm_points) == len(warm_datasizes) == len(warm_durations)):
+                raise ValueError("warm arrays must have equal length")
+            for p, d, y in zip(warm_points, warm_datasizes, warm_durations):
+                trace.points.append(np.asarray(p, dtype=float))
+                trace.datasizes.append(float(d))
+                trace.durations.append(float(y))
+        n_warm = trace.n_evaluations
+
+        # Initial design: LHS over the box (skipped when warm data at the
+        # target datasize already covers it).
+        have_at_ds = sum(1 for d in trace.datasizes if d == datasize_gb)
+        n_init = max(0, self.n_init - have_at_ds)
+        for unit in latin_hypercube(n_init, self.dim, self.rng) if n_init else []:
+            point = self._from_unit(unit)
+            duration = float(evaluate(point, datasize_gb))
+            trace.points.append(point)
+            trace.datasizes.append(float(datasize_gb))
+            trace.durations.append(duration)
+
+        iterations = 0
+        while trace.n_evaluations - n_warm < self.max_iterations:
+            model = DatasizeAwareGP(self.dim, n_mcmc=self.n_mcmc)
+            model.fit(
+                self._to_unit(np.stack(trace.points)),
+                np.array(trace.datasizes),
+                np.array(trace.durations),
+                rng=self.rng,
+            )
+            _, best_duration = trace.best(datasize_gb)
+
+            def score(unit_candidates: np.ndarray) -> np.ndarray:
+                return model.acquisition(unit_candidates, datasize_gb, best_duration)
+
+            anchors = self._to_unit(np.stack(trace.points))[
+                np.argsort(trace.durations)[:3]
+            ]
+            unit_point, ei = maximize_acquisition(
+                score,
+                self.dim,
+                n_candidates=self.n_candidates,
+                anchors=anchors,
+                rng=self.rng,
+            )
+            trace.ei_values.append(float(ei))
+            iterations += 1
+            if iterations > self.min_iterations and ei < self.ei_threshold:
+                trace.stopped_by_ei = True
+                break
+
+            point = self._from_unit(unit_point)
+            duration = float(evaluate(point, datasize_gb))
+            trace.points.append(point)
+            trace.datasizes.append(float(datasize_gb))
+            trace.durations.append(duration)
+        return trace

@@ -1,0 +1,126 @@
+"""Shared experiment runners.
+
+These helpers centralise the seeded setup code every figure driver needs:
+building simulators, collecting CV / IICP sample matrices, and running a
+tuner comparison on one (application, datasize) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import DAC, GBORL, QTune, Tuneful
+from repro.core import LOCAT, SparkSQLObjective
+from repro.core.result import TuningResult
+from repro.sparksim import SparkSQLSimulator, get_application
+from repro.sparksim.cluster import get_cluster
+from repro.sparksim.configspace import Configuration
+from repro.stats.sampling import ensure_rng
+
+BASELINE_CLASSES = (Tuneful, DAC, GBORL, QTune)
+BASELINE_NAMES = tuple(cls.NAME for cls in BASELINE_CLASSES)
+
+
+def make_simulator(cluster: str = "x86", noise: float = 0.04) -> SparkSQLSimulator:
+    """A simulator for one of the paper's clusters (``"arm"`` / ``"x86"``)."""
+    return SparkSQLSimulator(get_cluster(cluster), noise=noise)
+
+
+def collect_cv_samples(
+    benchmark: str = "tpcds",
+    cluster: str = "arm",
+    datasize_gb: float = 300.0,
+    n_samples: int = 30,
+    rng: int | np.random.Generator | None = 7,
+) -> dict[str, list[float]]:
+    """QCSA's sample matrix S: per-query times over N random configs."""
+    from repro.core.qcsa import QCSA
+
+    simulator = make_simulator(cluster)
+    app = get_application(benchmark)
+    objective = SparkSQLObjective(simulator, app, rng=ensure_rng(rng))
+    return QCSA(n_samples=n_samples).collect(objective, datasize_gb, rng=objective.rng)
+
+
+def collect_iicp_samples(
+    benchmark: str = "tpcds",
+    cluster: str = "x86",
+    datasize_gb: float = 300.0,
+    n_samples: int = 50,
+    rng: int | np.random.Generator | None = 7,
+) -> tuple[list[Configuration], np.ndarray, SparkSQLSimulator]:
+    """IICP's sample matrix S': (configs, durations) over LHS samples."""
+    from repro.bo.lhs import latin_hypercube
+
+    simulator = make_simulator(cluster)
+    app = get_application(benchmark)
+    gen = ensure_rng(rng)
+    configs: list[Configuration] = []
+    durations: list[float] = []
+    for point in latin_hypercube(n_samples, simulator.space.dim, gen):
+        config = simulator.space.decode(point)
+        configs.append(config)
+        durations.append(simulator.run(app, config, datasize_gb, rng=gen).duration_s)
+    return configs, np.array(durations), simulator
+
+
+@dataclass
+class TunerComparison:
+    """LOCAT vs the four baselines on one (benchmark, cluster, datasize)."""
+
+    benchmark: str
+    cluster: str
+    datasize_gb: float
+    results: dict[str, TuningResult] = field(default_factory=dict)
+
+    @property
+    def locat(self) -> TuningResult:
+        return self.results["LOCAT"]
+
+    def overhead_ratio(self, name: str) -> float:
+        """Baseline optimization time divided by LOCAT's (Figures 11-12)."""
+        return self.results[name].overhead_s / self.locat.overhead_s
+
+    def speedup(self, name: str) -> float:
+        """Baseline-tuned runtime divided by LOCAT-tuned (Figures 13-14)."""
+        return self.results[name].best_duration_s / self.locat.best_duration_s
+
+
+def compare_tuners(
+    benchmark: str = "tpcds",
+    cluster: str = "x86",
+    datasize_gb: float = 300.0,
+    seed: int = 11,
+    locat_iterations: int = 30,
+    baselines: tuple = BASELINE_CLASSES,
+) -> TunerComparison:
+    """Tune one benchmark with LOCAT and each baseline at one datasize."""
+    app = get_application(benchmark)
+    comparison = TunerComparison(benchmark=benchmark, cluster=cluster, datasize_gb=datasize_gb)
+
+    simulator = make_simulator(cluster)
+    locat = LOCAT(simulator, app, rng=seed, max_iterations=locat_iterations)
+    comparison.results["LOCAT"] = locat.tune(datasize_gb)
+
+    for cls in baselines:
+        tuner = cls(make_simulator(cluster), app, rng=seed)
+        comparison.results[cls.NAME] = tuner.tune(datasize_gb)
+    return comparison
+
+
+def measure_config(
+    simulator: SparkSQLSimulator,
+    benchmark: str,
+    config: Configuration,
+    datasize_gb: float,
+    repeats: int = 3,
+    rng: int | np.random.Generator | None = 0,
+) -> float:
+    """Mean full-application runtime of a fixed configuration."""
+    app = get_application(benchmark)
+    gen = ensure_rng(rng)
+    return float(
+        np.mean([simulator.run(app, config, datasize_gb, rng=gen).duration_s for _ in range(repeats)])
+    )

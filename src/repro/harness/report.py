@@ -1,0 +1,71 @@
+"""ASCII rendering of experiment results.
+
+The harness prints every reproduced table/figure as plain text so a
+bench run's output can be compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence,
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render one row per x value with one column per named series."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x, *(values[i] for values in series.values())])
+    return format_table(headers, rows, title=title)
+
+
+def format_comparison(
+    metric: str,
+    paper: Mapping[str, float],
+    measured: Mapping[str, float],
+    title: str = "",
+) -> str:
+    """Paper-vs-measured table for a named metric."""
+    headers = ["key", f"paper {metric}", f"measured {metric}"]
+    rows = [[k, paper.get(k, float("nan")), measured.get(k, float("nan"))] for k in measured]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,56 @@
+"""K-nearest-neighbour regression (KNNAR in Figure 16)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KNNRegressor:
+    """Distance-weighted k-NN regression with Euclidean distance.
+
+    ``weights='distance'`` uses inverse-distance weighting (exact matches
+    dominate); ``'uniform'`` averages the neighbourhood.
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "distance"):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be at least 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNRegressor":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        if x.shape[0] < 1:
+            raise ValueError("cannot fit on an empty dataset")
+        self._x = x
+        self._y = y
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._x is None or self._y is None:
+            raise RuntimeError("predict() called before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        k = min(self.n_neighbors, self._x.shape[0])
+        diffs = x[:, None, :] - self._x[None, :, :]
+        dists = np.sqrt(np.sum(diffs * diffs, axis=2))
+        neighbor_idx = np.argpartition(dists, k - 1, axis=1)[:, :k]
+        out = np.empty(x.shape[0], dtype=float)
+        for i in range(x.shape[0]):
+            idx = neighbor_idx[i]
+            if self.weights == "uniform":
+                out[i] = float(self._y[idx].mean())
+                continue
+            d = dists[i, idx]
+            if np.any(d < 1e-12):
+                out[i] = float(self._y[idx][d < 1e-12].mean())
+            else:
+                w = 1.0 / d
+                out[i] = float(np.sum(w * self._y[idx]) / np.sum(w))
+        return out

@@ -1,0 +1,234 @@
+"""Kernel Principal Component Analysis with pre-image reconstruction.
+
+CPE (paper section 3.3.2) compresses the CPS-surviving configuration
+parameters into a small number of nonlinear components; BO then searches
+the component space and concrete configurations are recovered from
+latent points via an approximate pre-image.
+
+Three kernels are provided, matching the paper's Figure 6 comparison:
+
+* ``"gaussian"`` — RBF, the paper's winner;
+* ``"polynomial"`` — (gamma <x, y> + coef0)^degree;
+* ``"perceptron"`` — the distance kernel ``Delta - ||x - y||`` of Lin &
+  Li, conditionally positive definite (valid after KPCA centering).
+
+Pre-images use Mika et al.'s fixed-point iteration for the Gaussian
+kernel and a feature-distance-weighted neighbourhood average otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_KERNELS = ("gaussian", "polynomial", "perceptron")
+
+
+def _pairwise_sq_dists(x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+    aa = np.sum(x1 * x1, axis=1)[:, None]
+    bb = np.sum(x2 * x2, axis=1)[None, :]
+    return np.maximum(aa + bb - 2.0 * x1 @ x2.T, 0.0)
+
+
+class KernelPCA:
+    """Kernel PCA over points in the unit hypercube.
+
+    ``n_components`` fixes the latent dimension; when ``None``, the
+    smallest dimension explaining ``explained_variance`` of the (feature
+    space) variance is chosen — this is how IICP decides how many
+    extracted parameters to keep.
+    """
+
+    def __init__(
+        self,
+        kernel: str = "gaussian",
+        n_components: int | None = None,
+        explained_variance: float = 0.85,
+        gamma: float | None = None,
+        degree: int = 3,
+        coef0: float = 1.0,
+    ):
+        if kernel not in _KERNELS:
+            raise ValueError(f"kernel must be one of {_KERNELS}")
+        if n_components is not None and n_components < 1:
+            raise ValueError("n_components must be positive")
+        if not 0.0 < explained_variance <= 1.0:
+            raise ValueError("explained_variance must be in (0, 1]")
+        self.kernel = kernel
+        self.n_components = n_components
+        self.explained_variance = explained_variance
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+
+        self._x: np.ndarray | None = None
+        self._alphas: np.ndarray | None = None  # (n_train, n_components)
+        self._lambdas: np.ndarray | None = None
+        self._k_row_means: np.ndarray | None = None
+        self._k_mean = 0.0
+        self._gamma_value = 1.0
+        self._delta = 1.0
+        self.n_components_: int = 0
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Kernel evaluation
+    # ------------------------------------------------------------------
+    def _kernel_matrix(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        if self.kernel == "gaussian":
+            return np.exp(-self._gamma_value * _pairwise_sq_dists(x1, x2))
+        if self.kernel == "polynomial":
+            return (self._gamma_value * (x1 @ x2.T) + self.coef0) ** self.degree
+        # Perceptron kernel: Delta - ||x - y||.
+        return self._delta - np.sqrt(_pairwise_sq_dists(x1, x2))
+
+    # ------------------------------------------------------------------
+    # Fit / transform
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray) -> "KernelPCA":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        n, d = x.shape
+        if n < 2:
+            raise ValueError("KernelPCA needs at least two samples")
+        self._x = x
+        if self.gamma is not None:
+            self._gamma_value = self.gamma
+        else:
+            # Median heuristic: scale so a typical pair has kernel ~ e^-1,
+            # which keeps the centered spectrum informative instead of
+            # collapsing onto one or two components.
+            sq = _pairwise_sq_dists(x, x)
+            median_sq = float(np.median(sq[np.triu_indices(n, k=1)]))
+            self._gamma_value = 1.0 / max(median_sq, 1e-9)
+        self._delta = float(np.sqrt(d))  # max distance in the unit cube
+
+        k = self._kernel_matrix(x, x)
+        self._k_row_means = k.mean(axis=1)
+        self._k_mean = float(k.mean())
+        ones = np.full((n, n), 1.0 / n)
+        k_centered = k - ones @ k - k @ ones + ones @ k @ ones
+
+        eigvals, eigvecs = np.linalg.eigh(k_centered)
+        order = np.argsort(eigvals)[::-1]
+        eigvals = np.maximum(eigvals[order], 0.0)
+        eigvecs = eigvecs[:, order]
+
+        total = float(eigvals.sum())
+        if total <= 0:
+            raise ValueError("kernel matrix has no positive spectrum (degenerate inputs)")
+        ratios = eigvals / total
+
+        if self.n_components is not None:
+            n_comp = min(self.n_components, n - 1)
+        else:
+            cumulative = np.cumsum(ratios)
+            n_comp = int(np.searchsorted(cumulative, self.explained_variance) + 1)
+            n_comp = min(max(n_comp, 1), n - 1)
+        # Drop numerically-zero directions.
+        positive = int(np.sum(eigvals > 1e-10 * eigvals[0])) or 1
+        n_comp = min(n_comp, positive)
+
+        self._lambdas = eigvals[:n_comp]
+        self._alphas = eigvecs[:, :n_comp] / np.sqrt(np.maximum(self._lambdas, 1e-18))
+        self.n_components_ = n_comp
+        self.explained_variance_ratio_ = ratios[:n_comp]
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Project points onto the principal components (rows -> latents)."""
+        if self._x is None or self._alphas is None:
+            raise RuntimeError("transform() called before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        k = self._kernel_matrix(x, self._x)
+        k_centered = (
+            k
+            - k.mean(axis=1, keepdims=True)
+            - self._k_row_means[None, :]
+            + self._k_mean
+        )
+        return k_centered @ self._alphas
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    # ------------------------------------------------------------------
+    # Pre-image (latent -> input space)
+    # ------------------------------------------------------------------
+    def latent_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned bounding box of the training latents.
+
+        BO searches inside this box (slightly inflated) when tuning in
+        the extracted-parameter space.
+        """
+        if self._x is None:
+            raise RuntimeError("latent_bounds() called before fit()")
+        latents = self.transform(self._x)
+        low = latents.min(axis=0)
+        high = latents.max(axis=0)
+        margin = 0.1 * np.maximum(high - low, 1e-9)
+        return low - margin, high + margin
+
+    def inverse_transform(self, latents: np.ndarray, n_iterations: int = 8) -> np.ndarray:
+        """Approximate pre-images of latent points, clipped to [0, 1].
+
+        Solves ``argmin_x ||transform(x) - z||^2`` over the unit cube by
+        batched coordinate descent, seeded from the training point whose
+        latent image is nearest to ``z``.  Direct optimization of the
+        projection error is markedly more robust than the classical
+        fixed-point iteration when ``z`` lies off the training manifold —
+        which is exactly where BO's acquisition likes to propose points.
+        """
+        if self._x is None or self._alphas is None:
+            raise RuntimeError("inverse_transform() called before fit()")
+        z = np.atleast_2d(np.asarray(latents, dtype=float))
+        if z.shape[1] != self.n_components_:
+            raise ValueError(f"expected {self.n_components_} latent dims, got {z.shape[1]}")
+        train_latents = self.transform(self._x)
+        out = np.empty((z.shape[0], self._x.shape[1]), dtype=float)
+        for i in range(z.shape[0]):
+            out[i] = self._preimage_single(z[i], train_latents, n_iterations)
+        return np.clip(out, 0.0, 1.0)
+
+    def _preimage_single(
+        self,
+        target: np.ndarray,
+        train_latents: np.ndarray,
+        n_sweeps: int,
+    ) -> np.ndarray:
+        x = self._x
+        assert x is not None
+        d = x.shape[1]
+
+        # Seed: the training point whose latent image is nearest.  This
+        # makes the inversion exact for training latents (the seed already
+        # has zero error), so encode/decode round-trips preserve observed
+        # configurations — essential for BO, where conflicting pre-images
+        # of the same latent would corrupt the surrogate.
+        dists = np.linalg.norm(train_latents - target[None, :], axis=1)
+        point = x[int(np.argmin(dists))].copy()
+
+        def error(points: np.ndarray) -> np.ndarray:
+            lat = self.transform(points)
+            diff = lat - target[None, :]
+            return np.sum(diff * diff, axis=1)
+
+        # Small steps keep the pre-image close to the seed: of the many
+        # inputs mapping near ``target`` (the map is non-injective), we
+        # want the minimum-movement one, so that nearby latents decode to
+        # nearby configurations and BO can exploit locally.
+        best_err = float(error(point[None, :])[0])
+        step = 0.08
+        for _ in range(max(n_sweeps, 10)):
+            trials = np.repeat(point[None, :], 2 * d, axis=0)
+            rows = np.arange(d)
+            trials[rows, rows] = np.clip(trials[rows, rows] + step, 0.0, 1.0)
+            trials[d + rows, rows] = np.clip(trials[d + rows, rows] - step, 0.0, 1.0)
+            errs = error(trials)
+            top = int(np.argmin(errs))
+            if errs[top] < best_err - 1e-12:
+                point = trials[top].copy()
+                best_err = float(errs[top])
+            else:
+                step *= 0.5
+                if step < 0.005:
+                    break
+        return point

@@ -1,0 +1,123 @@
+"""Linear models: ordinary least squares, ridge, and logistic regression.
+
+``LogisticRegression`` is included because Figure 16 compares it (LR)
+against the regression models; following common practice for using a
+classifier on a continuous target, it regresses the min-max-scaled
+target through a sigmoid link.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _design(x: np.ndarray) -> np.ndarray:
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    return np.hstack([np.ones((x.shape[0], 1)), x])
+
+
+class LinearRegression:
+    """Ordinary least squares via the pseudo-inverse (rank-safe)."""
+
+    def __init__(self) -> None:
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        a = _design(x)
+        y = np.asarray(y, dtype=float).ravel()
+        if a.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        beta, *_ = np.linalg.lstsq(a, y, rcond=None)
+        self.intercept_ = float(beta[0])
+        self.coef_ = beta[1:]
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("predict() called before fit()")
+        return np.atleast_2d(np.asarray(x, dtype=float)) @ self.coef_ + self.intercept_
+
+
+class RidgeRegression:
+    """L2-regularized least squares (closed form)."""
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = float(alpha)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        x_mean = x.mean(axis=0)
+        y_mean = float(y.mean())
+        xc = x - x_mean
+        yc = y - y_mean
+        gram = xc.T @ xc + self.alpha * np.eye(x.shape[1])
+        self.coef_ = np.linalg.solve(gram, xc.T @ yc)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("predict() called before fit()")
+        return np.atleast_2d(np.asarray(x, dtype=float)) @ self.coef_ + self.intercept_
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + np.tanh(0.5 * z))  # numerically stable logistic
+
+
+class LogisticRegression:
+    """Sigmoid-link regression on a [0, 1]-scaled continuous target.
+
+    Trained by full-batch gradient descent on the squared error of the
+    sigmoid output (the practical way to point a logistic model at a
+    regression target); predictions are mapped back to the raw scale.
+    """
+
+    def __init__(self, learning_rate: float = 0.5, n_iterations: int = 500, l2: float = 1e-4):
+        if learning_rate <= 0 or n_iterations <= 0:
+            raise ValueError("learning_rate and n_iterations must be positive")
+        self.learning_rate = float(learning_rate)
+        self.n_iterations = int(n_iterations)
+        self.l2 = float(l2)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._y_min = 0.0
+        self._y_span = 1.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        self._y_min = float(y.min())
+        self._y_span = float(y.max() - y.min()) or 1.0
+        target = (y - self._y_min) / self._y_span
+
+        n, d = x.shape
+        w = np.zeros(d)
+        b = 0.0
+        for _ in range(self.n_iterations):
+            p = _sigmoid(x @ w + b)
+            err = p - target
+            grad_core = err * p * (1.0 - p)
+            grad_w = x.T @ grad_core / n + self.l2 * w
+            grad_b = float(np.mean(grad_core))
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+        self.coef_ = w
+        self.intercept_ = b
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("predict() called before fit()")
+        p = _sigmoid(np.atleast_2d(np.asarray(x, dtype=float)) @ self.coef_ + self.intercept_)
+        return p * self._y_span + self._y_min

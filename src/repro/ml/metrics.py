@@ -1,0 +1,36 @@
+"""Regression quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    yt = np.asarray(y_true, dtype=float).ravel()
+    yp = np.asarray(y_pred, dtype=float).ravel()
+    if yt.shape != yp.shape:
+        raise ValueError("y_true and y_pred must have the same length")
+    if yt.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return yt, yp
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """MSE, the accuracy measure of Figure 16."""
+    yt, yp = _check(y_true, y_pred)
+    return float(np.mean((yt - yp) ** 2))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    yt, yp = _check(y_true, y_pred)
+    return float(np.mean(np.abs(yt - yp)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; 0.0 for a constant true target."""
+    yt, yp = _check(y_true, y_pred)
+    ss_res = float(np.sum((yt - yp) ** 2))
+    ss_tot = float(np.sum((yt - yt.mean()) ** 2))
+    if ss_tot < 1e-12:
+        return 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,67 @@
+"""Feature scaling utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance.
+
+    Constant features keep scale 1.0 so transforming them yields zeros
+    instead of NaNs.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("transform() called before fit()")
+        return (np.atleast_2d(np.asarray(x, dtype=float)) - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("inverse_transform() called before fit()")
+        return np.atleast_2d(np.asarray(x, dtype=float)) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features into [0, 1] (constant features map to 0)."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self.min_ = x.min(axis=0)
+        span = x.max(axis=0) - self.min_
+        span[span < 1e-12] = 1.0
+        self.range_ = span
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("transform() called before fit()")
+        return (np.atleast_2d(np.asarray(x, dtype=float)) - self.min_) / self.range_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("inverse_transform() called before fit()")
+        return np.atleast_2d(np.asarray(x, dtype=float)) * self.range_ + self.min_

@@ -1,0 +1,103 @@
+"""Kernel support vector regression.
+
+Solved as iteratively reweighted kernel ridge regression: the
+epsilon-insensitive loss is approximated by down-weighting residuals
+inside the tube on each pass and re-solving the regularized least-squares
+problem in closed form.  This converges in a handful of iterations and is
+far more reliable than subgradient descent on the dual — accuracy is what
+the Figure 16 model comparison needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import StandardScaler
+
+
+def _rbf(x1: np.ndarray, x2: np.ndarray, gamma: float) -> np.ndarray:
+    aa = np.sum(x1 * x1, axis=1)[:, None]
+    bb = np.sum(x2 * x2, axis=1)[None, :]
+    sq = np.maximum(aa + bb - 2.0 * x1 @ x2.T, 0.0)
+    return np.exp(-gamma * sq)
+
+
+class KernelSVR:
+    """Epsilon-insensitive RBF-kernel regression.
+
+    ``f(x) = sum_i beta_i k(x_i, x) + b`` with L2 penalty ``1/c``;
+    ``epsilon`` is the insensitivity tube half-width in target standard
+    deviations (targets are standardized internally).
+    """
+
+    def __init__(
+        self,
+        c: float = 10.0,
+        epsilon: float = 0.05,
+        gamma: float | None = None,
+        n_iterations: int = 8,
+    ):
+        if c <= 0 or epsilon < 0:
+            raise ValueError("c must be positive and epsilon non-negative")
+        if n_iterations <= 0:
+            raise ValueError("n_iterations must be positive")
+        self.c = float(c)
+        self.epsilon = float(epsilon)
+        self.gamma = gamma
+        self.n_iterations = int(n_iterations)
+        self._x: np.ndarray | None = None
+        self._beta: np.ndarray | None = None
+        self._bias = 0.0
+        self._gamma_value = 1.0
+        self._y_scaler: tuple[float, float] = (0.0, 1.0)
+        self._x_scaler = StandardScaler()
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KernelSVR":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        xs = self._x_scaler.fit_transform(x)
+        y_mean = float(y.mean())
+        y_std = float(y.std()) or 1.0
+        self._y_scaler = (y_mean, y_std)
+        target = (y - y_mean) / y_std
+
+        n, d = xs.shape
+        self._gamma_value = self.gamma if self.gamma is not None else 1.0 / d
+        k = _rbf(xs, xs, self._gamma_value)
+        lam = 1.0 / self.c
+
+        # Pass 0: plain kernel ridge.  Subsequent passes down-weight
+        # residuals already inside the epsilon tube (they contribute no
+        # loss), re-solving the weighted system.
+        weights = np.ones(n)
+        beta = np.zeros(n)
+        for _ in range(self.n_iterations):
+            w = np.diag(weights)
+            beta = np.linalg.solve(w @ k + lam * np.eye(n), weights * target)
+            residual = np.abs(k @ beta - target)
+            new_weights = np.where(residual <= self.epsilon, 0.1, 1.0)
+            if np.array_equal(new_weights, weights):
+                break
+            weights = new_weights
+        self._x = xs
+        self._beta = beta
+        self._bias = 0.0
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._x is None or self._beta is None:
+            raise RuntimeError("predict() called before fit()")
+        xs = self._x_scaler.transform(np.atleast_2d(np.asarray(x, dtype=float)))
+        k = _rbf(xs, self._x, self._gamma_value)
+        f = k @ self._beta + self._bias
+        mean, std = self._y_scaler
+        return f * std + mean
+
+    @property
+    def support_fraction(self) -> float:
+        """Fraction of training points with non-negligible dual weight."""
+        if self._beta is None:
+            raise RuntimeError("support_fraction read before fit()")
+        return float(np.mean(np.abs(self._beta) > 1e-8))

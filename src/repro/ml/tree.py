@@ -1,0 +1,129 @@
+"""CART regression tree (variance-reduction splits).
+
+The building block of :mod:`repro.ml.gbrt`.  Split search is exact over
+sorted feature values with cumulative-sum statistics, so fitting is
+O(n log n) per feature per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    value: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    impurity_gain: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """Binary regression tree minimizing within-node squared error."""
+
+    def __init__(self, max_depth: int = 3, min_samples_split: int = 2, min_samples_leaf: int = 1):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be at least 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self._root: _Node | None = None
+        self.n_features_: int = 0
+        self.feature_importances_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_features_ = x.shape[1]
+        importances = np.zeros(self.n_features_)
+        self._root = self._build(x, y, depth=0, importances=importances)
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int, importances: np.ndarray) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or y.shape[0] < self.min_samples_split or np.ptp(y) < 1e-12:
+            return node
+        split = self._best_split(x, y)
+        if split is None:
+            return node
+        feature, threshold, gain = split
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.impurity_gain = gain
+        importances[feature] += gain
+        node.left = self._build(x[mask], y[mask], depth + 1, importances)
+        node.right = self._build(x[~mask], y[~mask], depth + 1, importances)
+        return node
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray) -> tuple[int, float, float] | None:
+        n = y.shape[0]
+        base_sse = float(np.sum((y - y.mean()) ** 2))
+        best: tuple[int, float, float] | None = None
+        best_gain = 1e-12
+        for feature in range(x.shape[1]):
+            order = np.argsort(x[:, feature], kind="mergesort")
+            xs = x[order, feature]
+            ys = y[order]
+            csum = np.cumsum(ys)
+            csum_sq = np.cumsum(ys * ys)
+            total_sum = csum[-1]
+            total_sq = csum_sq[-1]
+            # Candidate split after position i (1-based left size).
+            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if i < n and xs[i - 1] == xs[i]:
+                    continue  # cannot split between equal values
+                if i == n:
+                    continue
+                left_n, right_n = i, n - i
+                left_sum = csum[i - 1]
+                left_sq = csum_sq[i - 1]
+                right_sum = total_sum - left_sum
+                right_sq = total_sq - left_sq
+                sse = (left_sq - left_sum**2 / left_n) + (right_sq - right_sum**2 / right_n)
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float((xs[i - 1] + xs[i]) / 2.0), float(gain))
+        return best
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("predict() called before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.n_features_:
+            raise ValueError(f"expected {self.n_features_} features, got {x.shape[1]}")
+        out = np.empty(x.shape[0], dtype=float)
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    @property
+    def depth(self) -> int:
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

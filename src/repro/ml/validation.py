@@ -1,0 +1,54 @@
+"""Data-splitting utilities for model evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.sampling import ensure_rng
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train/test; returns (x_tr, x_te, y_tr, y_te)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y must have the same number of rows")
+    n = x.shape[0]
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError("not enough samples to split")
+    order = ensure_rng(rng).permutation(n)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return x[train_idx], x[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True,
+                 rng: int | np.random.Generator | None = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self._rng = ensure_rng(rng)
+
+    def split(self, n_samples: int):
+        """Yield (train_indices, test_indices) pairs."""
+        if n_samples < self.n_splits:
+            raise ValueError("more splits than samples")
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            indices = self._rng.permutation(n_samples)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test

@@ -1,0 +1,46 @@
+"""Spark SQL cluster simulator.
+
+The paper evaluates LOCAT on two real clusters running Spark 2.4.5.  This
+package replaces them with an analytic simulator exposing the same
+black-box interface a tuner sees: submit an application with a
+configuration and an input data size, get back per-query execution times
+and runtime metrics (GC time, shuffle volumes, failures).
+
+The cost model encodes the mechanisms the paper identifies as the causes
+of its results: task-wave parallelism, shuffle-partition sensitivity,
+memory-pressure-driven GC, compression trade-offs, and broadcast joins.
+See DESIGN.md section 6 for the fidelity notes.
+"""
+
+from repro.sparksim.cluster import ClusterSpec, NodeSpec, arm_cluster, x86_cluster
+from repro.sparksim.configspace import (
+    ConfigSpace,
+    Configuration,
+    Parameter,
+    PARAMETERS,
+)
+from repro.sparksim.engine import SparkSQLSimulator
+from repro.sparksim.metrics import ApplicationMetrics, QueryMetrics, StageMetrics
+from repro.sparksim.query import Application, Query, Stage, StageKind
+from repro.sparksim.workloads import get_application, list_benchmarks
+
+__all__ = [
+    "Application",
+    "ApplicationMetrics",
+    "ClusterSpec",
+    "ConfigSpace",
+    "Configuration",
+    "NodeSpec",
+    "PARAMETERS",
+    "Parameter",
+    "Query",
+    "QueryMetrics",
+    "SparkSQLSimulator",
+    "Stage",
+    "StageKind",
+    "StageMetrics",
+    "arm_cluster",
+    "get_application",
+    "list_benchmarks",
+    "x86_cluster",
+]

@@ -1,0 +1,81 @@
+"""Synthetic catalogs for the benchmark schemas.
+
+The TPC generators scale fact tables linearly with the scale factor while
+dimension tables grow sub-linearly or not at all.  The workload builders
+use this catalog to derive per-stage input fractions (share of the total
+dataset a query scans) and the absolute build-side sizes used for
+broadcast-join decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Table:
+    """One table: its share of the dataset and how it scales.
+
+    ``size_share`` is the table's fraction of total bytes at any scale
+    factor (fact tables).  ``fixed_mb`` is used instead for dimension
+    tables whose size is effectively constant.
+    """
+
+    name: str
+    size_share: float = 0.0
+    fixed_mb: float = 0.0
+    is_fact: bool = True
+
+    def size_gb(self, datasize_gb: float) -> float:
+        if self.is_fact:
+            return self.size_share * datasize_gb
+        return self.fixed_mb / 1024.0
+
+
+#: TPC-DS: seven fact tables dominate the bytes; shares approximate the
+#: official v2.x size distribution (store_sales is ~40% of the data).
+TPCDS_TABLES: dict[str, Table] = {
+    t.name: t
+    for t in (
+        Table("store_sales", size_share=0.40),
+        Table("catalog_sales", size_share=0.26),
+        Table("web_sales", size_share=0.13),
+        Table("store_returns", size_share=0.06),
+        Table("catalog_returns", size_share=0.045),
+        Table("web_returns", size_share=0.025),
+        Table("inventory", size_share=0.08),
+        Table("customer", is_fact=False, fixed_mb=1300.0),
+        Table("customer_address", is_fact=False, fixed_mb=300.0),
+        Table("customer_demographics", is_fact=False, fixed_mb=75.0),
+        Table("item", is_fact=False, fixed_mb=50.0),
+        Table("store", is_fact=False, fixed_mb=2.0),
+        Table("warehouse", is_fact=False, fixed_mb=1.0),
+        Table("date_dim", is_fact=False, fixed_mb=10.0),
+        Table("time_dim", is_fact=False, fixed_mb=5.0),
+        Table("promotion", is_fact=False, fixed_mb=1.5),
+        Table("household_demographics", is_fact=False, fixed_mb=0.5),
+    )
+}
+
+#: TPC-H: lineitem dominates; orders second.
+TPCH_TABLES: dict[str, Table] = {
+    t.name: t
+    for t in (
+        Table("lineitem", size_share=0.70),
+        Table("orders", size_share=0.16),
+        Table("partsupp", size_share=0.08),
+        Table("part", size_share=0.03),
+        Table("customer", size_share=0.03),
+        Table("supplier", is_fact=False, fixed_mb=140.0),
+        Table("nation", is_fact=False, fixed_mb=0.01),
+        Table("region", is_fact=False, fixed_mb=0.005),
+    )
+}
+
+
+def table_size_gb(catalog: dict[str, Table], name: str, datasize_gb: float) -> float:
+    """Size of a named table at a given total dataset size."""
+    try:
+        return catalog[name].size_gb(datasize_gb)
+    except KeyError:
+        raise KeyError(f"unknown table {name!r}") from None

@@ -1,0 +1,132 @@
+"""Cluster hardware specifications.
+
+The paper's two experimental clusters (section 4.1):
+
+* ARM: four KUNPENG servers, each with 4x KUNPENG 920 2.60 GHz 32-core
+  processors and 512 GB memory -> 512 cores / 2048 GB total, one master
+  and three slaves.
+* x86: eight Xeon servers, each with 2x Intel Xeon Silver 4114 2.20 GHz
+  ten-core processors and 64 GB memory -> 160 cores / 512 GB total, one
+  master and seven slaves.
+
+Only slave (worker) resources host executors; the YARN container caps are
+inferred from the parameter ranges in Table 2 (Range A allows up to 8
+executor cores / 32 GB heap on ARM; Range B up to 16 cores / 48 GB on
+x86).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A single server: core count, memory, and per-core speed factors."""
+
+    cores: int
+    memory_gb: float
+    core_speed: float  # relative CPU throughput per core (x86 Xeon = 1.0)
+    disk_mb_per_s: float  # sequential disk bandwidth per node
+    network_mb_per_s: float  # NIC bandwidth per node
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("node must have at least one core")
+        if self.memory_gb <= 0:
+            raise ValueError("node memory must be positive")
+        if min(self.core_speed, self.disk_mb_per_s, self.network_mb_per_s) <= 0:
+            raise ValueError("node speed factors must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A named cluster: one master plus ``worker_count`` identical workers.
+
+    ``container_cores`` / ``container_memory_gb`` are the YARN container
+    caps that bound per-executor resources (paper section 5.12).
+    """
+
+    name: str
+    node: NodeSpec
+    worker_count: int
+    container_cores: int
+    container_memory_gb: float
+
+    def __post_init__(self) -> None:
+        if self.worker_count <= 0:
+            raise ValueError("cluster needs at least one worker")
+        if self.container_cores <= 0 or self.container_cores > self.node.cores:
+            raise ValueError("container cores must be in (0, node cores]")
+        if not 0 < self.container_memory_gb <= self.node.memory_gb:
+            raise ValueError("container memory must be in (0, node memory]")
+
+    @property
+    def total_cores(self) -> int:
+        """Worker cores available to executors (master excluded)."""
+        return self.node.cores * self.worker_count
+
+    @property
+    def total_memory_gb(self) -> float:
+        """Worker memory available to executors (master excluded)."""
+        return self.node.memory_gb * self.worker_count
+
+    @property
+    def aggregate_disk_mb_per_s(self) -> float:
+        return self.node.disk_mb_per_s * self.worker_count
+
+    @property
+    def aggregate_network_mb_per_s(self) -> float:
+        return self.node.network_mb_per_s * self.worker_count
+
+
+def arm_cluster() -> ClusterSpec:
+    """The paper's four-node KUNPENG ARM cluster (3 workers host executors).
+
+    KUNPENG 920 cores are individually slower than the Xeon cores but the
+    cluster has many more of them; ``core_speed=0.8`` reflects the typical
+    per-core gap reported for this generation of parts.
+    """
+    node = NodeSpec(
+        cores=128,
+        memory_gb=512.0,
+        core_speed=0.8,
+        disk_mb_per_s=900.0,
+        network_mb_per_s=1200.0,
+    )
+    return ClusterSpec(
+        name="arm",
+        node=node,
+        worker_count=3,
+        container_cores=8,
+        container_memory_gb=64.0,
+    )
+
+
+def x86_cluster() -> ClusterSpec:
+    """The paper's eight-node Xeon x86 cluster (7 workers host executors)."""
+    node = NodeSpec(
+        cores=20,
+        memory_gb=64.0,
+        core_speed=1.0,
+        disk_mb_per_s=600.0,
+        network_mb_per_s=1200.0,
+    )
+    return ClusterSpec(
+        name="x86",
+        node=node,
+        worker_count=7,
+        container_cores=16,
+        container_memory_gb=56.0,
+    )
+
+
+_PRESETS = {"arm": arm_cluster, "x86": x86_cluster}
+
+
+def get_cluster(name: str) -> ClusterSpec:
+    """Look up a preset cluster by name (``"arm"`` or ``"x86"``)."""
+    try:
+        return _PRESETS[name]()
+    except KeyError:
+        raise ValueError(f"unknown cluster {name!r}; choose from {sorted(_PRESETS)}") from None

@@ -1,0 +1,129 @@
+"""Query, stage, and application models.
+
+A Spark SQL application is a sequence of queries; the framework turns each
+query into a DAG of stages separated by shuffle boundaries (paper Figure
+1).  The simulator only needs the per-stage resource footprint, so a
+:class:`Stage` records the data volumes and operator class rather than a
+full relational plan.
+
+Data volumes are expressed as *fractions of the application input size*
+so the same plan scales with the datasize knob, mirroring how TPC
+generators scale fact tables with the scale factor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class StageKind(enum.Enum):
+    """Operator class of a stage, following the taxonomy of section 5.11."""
+
+    SCAN = "scan"  # map-only selection/projection/filter
+    SHUFFLE_JOIN = "shuffle_join"  # sort-merge or shuffle-hash join
+    SHUFFLE_AGG = "shuffle_agg"  # group-by aggregation
+    SORT = "sort"  # global sort / window
+    BROADCAST_JOIN = "broadcast_join"  # candidate for broadcast if small side fits
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One stage of a query DAG.
+
+    ``input_fraction`` — bytes read by the stage as a fraction of the
+    application input datasize.  ``shuffle_fraction`` — bytes written to
+    (and read back from) the shuffle as a fraction of the input datasize;
+    zero for map-only stages.  ``cpu_weight`` scales the per-row compute
+    cost (expressions, codegen complexity).  ``small_side_mb`` is the size
+    of the build side for join stages, used against
+    ``sql.autoBroadcastJoinThreshold``; it is an absolute size because
+    dimension tables barely grow with scale factor.  ``fields`` is the
+    projected column count, interacting with codegen.maxFields.
+    """
+
+    kind: StageKind
+    input_fraction: float
+    shuffle_fraction: float = 0.0
+    cpu_weight: float = 1.0
+    small_side_mb: float = 0.0
+    fields: int = 20
+    skew: float = 0.0  # 0 = uniform partitions, 1 = heavily skewed
+
+    def __post_init__(self) -> None:
+        if self.input_fraction < 0 or self.shuffle_fraction < 0:
+            raise ValueError("stage data fractions must be non-negative")
+        if self.cpu_weight <= 0:
+            raise ValueError("cpu_weight must be positive")
+        if not 0.0 <= self.skew <= 1.0:
+            raise ValueError("skew must lie in [0, 1]")
+        if self.fields <= 0:
+            raise ValueError("fields must be positive")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A named query: an ordered list of stages (the DAG's critical path).
+
+    The simulator executes stages sequentially — Spark stages on the
+    critical path cannot overlap because of shuffle barriers, and
+    off-critical-path parallelism is folded into the stage volumes.
+    """
+
+    name: str
+    stages: tuple[Stage, ...]
+    category: str = "join"  # 'selection' | 'join' | 'aggregation' (section 5.11)
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError(f"query {self.name} has no stages")
+        if self.category not in ("selection", "join", "aggregation"):
+            raise ValueError(f"bad category {self.category!r} for query {self.name}")
+
+    @property
+    def total_shuffle_fraction(self) -> float:
+        return sum(s.shuffle_fraction for s in self.stages)
+
+    @property
+    def total_input_fraction(self) -> float:
+        return sum(s.input_fraction for s in self.stages)
+
+
+@dataclass(frozen=True)
+class Application:
+    """A Spark SQL application: a named, ordered collection of queries."""
+
+    name: str
+    queries: tuple[Query, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise ValueError(f"application {self.name} has no queries")
+        names = [q.name for q in self.queries]
+        if len(set(names)) != len(names):
+            raise ValueError(f"application {self.name} has duplicate query names")
+
+    @property
+    def query_names(self) -> list[str]:
+        return [q.name for q in self.queries]
+
+    def query(self, name: str) -> Query:
+        for q in self.queries:
+            if q.name == name:
+                return q
+        raise KeyError(f"no query named {name!r} in application {self.name}")
+
+    def subset(self, names: list[str], suffix: str = "rqa") -> "Application":
+        """A reduced application keeping only ``names`` (order preserved).
+
+        This is how QCSA builds the RQA (reduced query application).
+        """
+        keep = set(names)
+        unknown = keep - set(self.query_names)
+        if unknown:
+            raise KeyError(f"unknown queries: {sorted(unknown)}")
+        queries = tuple(q for q in self.queries if q.name in keep)
+        if not queries:
+            raise ValueError("cannot build an application with zero queries")
+        return Application(name=f"{self.name}-{suffix}", queries=queries, description=self.description)

@@ -1,0 +1,135 @@
+"""Shuffle and compression cost model.
+
+Spark shuffles write map output to local disk and fetch it over the
+network into reduce tasks.  Compression (Zstd in Spark 2.4 with
+``spark.io.compression.zstd.*``) trades CPU for bytes moved; fetch
+parallelism (``reducer.maxSizeInFlight``, ``shuffle.io.numConnectionsPerPeer``)
+and buffering (``shuffle.file.buffer``) shave constant factors.
+
+All functions are pure so they can be unit-tested and property-tested in
+isolation from the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sparksim.cluster import ClusterSpec
+from repro.sparksim.configspace import Configuration
+
+
+@dataclass(frozen=True)
+class ShuffleCost:
+    """Cluster-level cost of one shuffle of ``raw_gb`` bytes.
+
+    ``compress_core_s`` is in *core-seconds*: the engine divides it by the
+    number of active execution slots to get wall time.
+    """
+
+    write_s: float
+    fetch_s: float
+    compress_core_s: float
+    wire_gb: float  # bytes actually moved after compression
+
+
+def compression_ratio(level: int) -> float:
+    """Fraction of the raw size remaining after Zstd at ``level``.
+
+    Zstd on columnar shuffle data typically achieves 2.5-4x; higher levels
+    compress slightly better with steeply growing CPU cost.
+    """
+    level = max(1, min(int(level), 5))
+    return 0.40 - 0.025 * (level - 1)
+
+
+def compression_cpu_s_per_gb(level: int, buffer_kb: float) -> float:
+    """CPU seconds to compress one GB at ``level`` with ``buffer_kb`` buffers.
+
+    CPU cost grows superlinearly in level; a too-small streaming buffer
+    adds call overhead, a large one amortises it (diminishing returns).
+    """
+    level = max(1, min(int(level), 5))
+    base = 1.2 * (1.0 + 0.5 * (level - 1) ** 1.3)
+    buffer_penalty = 1.0 + 8.0 / max(float(buffer_kb), 8.0)
+    return base * buffer_penalty / 10.0
+
+
+def fetch_efficiency(max_in_flight_mb: float, connections_per_peer: int) -> float:
+    """Network utilisation achieved by reducers, in (0, 1].
+
+    Small in-flight windows leave the pipe idle between requests; extra
+    connections per peer help until they saturate (diminishing returns).
+    """
+    window = min(max(float(max_in_flight_mb), 1.0), 512.0)
+    window_eff = window / (window + 24.0)
+    conn = min(max(int(connections_per_peer), 1), 16)
+    conn_eff = 1.0 - 0.12 / (conn + 1.0)
+    return min(1.0, (0.55 + 0.45 * window_eff) * conn_eff)
+
+
+def write_efficiency(file_buffer_kb: float) -> float:
+    """Disk-write utilisation of map tasks given the shuffle file buffer."""
+    buf = min(max(float(file_buffer_kb), 4.0), 1024.0)
+    return min(1.0, 0.75 + 0.25 * buf / (buf + 32.0))
+
+
+def shuffle_cost(
+    raw_gb: float,
+    config: Configuration,
+    cluster: ClusterSpec,
+    spill: bool = False,
+) -> ShuffleCost:
+    """Cluster-level time to write and fetch one shuffle of ``raw_gb``.
+
+    When ``spill`` is set the data crossed the disk twice (spill during the
+    map side), governed by ``shuffle.spill.compress``.
+    """
+    if raw_gb < 0:
+        raise ValueError("raw_gb must be non-negative")
+    if raw_gb == 0:
+        return ShuffleCost(0.0, 0.0, 0.0, 0.0)
+
+    compress = bool(config["shuffle.compress"])
+    level = int(config["io.compression.zstd.level"])
+    buffer_kb = float(config["io.compression.zstd.bufferSize"])
+
+    if compress:
+        wire_gb = raw_gb * compression_ratio(level)
+        compress_cpu = raw_gb * compression_cpu_s_per_gb(level, buffer_kb)
+    else:
+        wire_gb = raw_gb
+        compress_cpu = 0.0
+
+    disk_mb = cluster.aggregate_disk_mb_per_s * write_efficiency(config["shuffle.file.buffer"])
+    write_s = wire_gb * 1024.0 / disk_mb
+
+    net_mb = cluster.aggregate_network_mb_per_s * fetch_efficiency(
+        config["reducer.maxSizeInFlight"], config["shuffle.io.numConnectionsPerPeer"]
+    )
+    fetch_s = wire_gb * 1024.0 / net_mb
+
+    if spill:
+        spill_gb = raw_gb * (compression_ratio(level) if config["shuffle.spill.compress"] else 1.0)
+        write_s += spill_gb * 1024.0 / disk_mb
+        if config["shuffle.spill.compress"]:
+            compress_cpu += raw_gb * compression_cpu_s_per_gb(level, buffer_kb)
+
+    return ShuffleCost(write_s=write_s, fetch_s=fetch_s, compress_core_s=compress_cpu, wire_gb=wire_gb)
+
+
+def broadcast_cost_s(small_side_mb: float, config: Configuration, cluster: ClusterSpec) -> float:
+    """Time to broadcast a build-side table of ``small_side_mb`` to all workers.
+
+    Torrent broadcast splits the table into ``broadcast.blockSize`` pieces;
+    tiny pieces add per-block overhead, compression shrinks the payload.
+    """
+    if small_side_mb <= 0:
+        return 0.0
+    payload_mb = small_side_mb
+    if config["broadcast.compress"]:
+        payload_mb *= compression_ratio(int(config["io.compression.zstd.level"]))
+    block_mb = max(float(config["broadcast.blockSize"]), 0.5)
+    blocks = max(1, int(payload_mb / block_mb) + 1)
+    per_block_overhead_s = 0.002
+    transfer_s = payload_mb * cluster.worker_count / cluster.aggregate_network_mb_per_s
+    return transfer_s + blocks * per_block_overhead_s

@@ -1,0 +1,147 @@
+"""Spark-event-log-style trace export.
+
+Real Spark writes an event log per application that history servers and
+log-driven tuners (e.g. the "You Only Run Once" line of work the paper
+discusses in section 6.2) consume.  This module renders simulator
+metrics in the same spirit: one JSON event per application / query /
+stage transition, plus a compact summary aggregator.
+
+The schema intentionally mirrors the fields such tools read —
+``Event``, ``Submission Time``/``Completion Time`` (milliseconds),
+stage-level shuffle and GC metrics — without claiming byte-for-byte
+Spark compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.sparksim.metrics import ApplicationMetrics
+
+
+def _ms(seconds: float) -> int:
+    return int(round(seconds * 1000.0))
+
+
+def application_events(metrics: ApplicationMetrics, start_time_s: float = 0.0) -> list[dict]:
+    """Flatten application metrics into an ordered event list.
+
+    Events appear in execution order with consistent millisecond
+    timestamps: application start, then per query (start, stage events,
+    end), then application end.
+    """
+    events: list[dict] = []
+    clock = start_time_s
+    events.append(
+        {
+            "Event": "ApplicationStart",
+            "App Name": metrics.application,
+            "Datasize GB": metrics.datasize_gb,
+            "Timestamp": _ms(clock),
+        }
+    )
+    for query in metrics.queries:
+        events.append(
+            {
+                "Event": "QueryStart",
+                "Query": query.name,
+                "Timestamp": _ms(clock),
+            }
+        )
+        stage_clock = clock
+        for index, stage in enumerate(query.stages):
+            events.append(
+                {
+                    "Event": "StageCompleted",
+                    "Query": query.name,
+                    "Stage ID": index,
+                    "Stage Kind": stage.kind,
+                    "Submission Time": _ms(stage_clock),
+                    "Completion Time": _ms(stage_clock + stage.duration_s),
+                    "Number of Tasks": stage.partitions,
+                    "Task Waves": stage.waves,
+                    "Shuffle Write GB": stage.shuffle_bytes_gb,
+                    "JVM GC Time": _ms(stage.gc_s),
+                    "Spilled": stage.spilled,
+                    "Broadcast": stage.broadcast,
+                }
+            )
+            stage_clock += stage.duration_s
+        clock += query.duration_s
+        events.append(
+            {
+                "Event": "QueryEnd",
+                "Query": query.name,
+                "Timestamp": _ms(clock),
+                "Duration": _ms(query.duration_s),
+                "Failed": query.failed,
+            }
+        )
+    events.append(
+        {
+            "Event": "ApplicationEnd",
+            "Timestamp": _ms(clock),
+            "Duration": _ms(metrics.duration_s),
+            "Total JVM GC Time": _ms(metrics.gc_s),
+        }
+    )
+    return events
+
+
+def to_event_log(metrics: ApplicationMetrics, start_time_s: float = 0.0) -> str:
+    """Render the event list as JSON lines (one event per line)."""
+    return "\n".join(
+        json.dumps(event, separators=(",", ":"))
+        for event in application_events(metrics, start_time_s)
+    )
+
+
+def parse_event_log(text: str) -> list[dict]:
+    """Parse a JSON-lines event log back into event dictionaries."""
+    events = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"bad event on line {line_number}: {exc}") from exc
+    return events
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """History-server-style aggregate of one event log."""
+
+    application: str
+    duration_s: float
+    gc_s: float
+    n_queries: int
+    n_stages: int
+    total_tasks: int
+    shuffle_gb: float
+    spilled_stages: int
+    broadcast_stages: int
+    failed_queries: int
+
+
+def summarize_events(events: list[dict]) -> TraceSummary:
+    """Aggregate an event list into the headline numbers."""
+    app_start = next(e for e in events if e["Event"] == "ApplicationStart")
+    app_end = next(e for e in events if e["Event"] == "ApplicationEnd")
+    stages = [e for e in events if e["Event"] == "StageCompleted"]
+    query_ends = [e for e in events if e["Event"] == "QueryEnd"]
+    return TraceSummary(
+        application=app_start["App Name"],
+        duration_s=app_end["Duration"] / 1000.0,
+        gc_s=app_end["Total JVM GC Time"] / 1000.0,
+        n_queries=len(query_ends),
+        n_stages=len(stages),
+        total_tasks=sum(e["Number of Tasks"] for e in stages),
+        shuffle_gb=sum(e["Shuffle Write GB"] for e in stages),
+        spilled_stages=sum(1 for e in stages if e["Spilled"]),
+        broadcast_stages=sum(1 for e in stages if e["Broadcast"]),
+        failed_queries=sum(1 for e in query_ends if e["Failed"]),
+    )

@@ -1,0 +1,65 @@
+"""Benchmark application builders: TPC-DS, TPC-H, and HiBench SQL.
+
+Each builder returns an :class:`~repro.sparksim.query.Application` whose
+per-query stage profiles reproduce the latency structure the paper
+reports (query mix, shuffle volumes, sensitive/insensitive split).
+Applications are plan templates: data volumes are fractions of the input
+datasize, so one application object serves every datasize.
+"""
+
+from repro.sparksim.query import Application
+from repro.sparksim.workloads.hibench import (
+    hibench_aggregation,
+    hibench_join,
+    hibench_scan,
+)
+from repro.sparksim.workloads.tpcds import tpcds_application
+from repro.sparksim.workloads.tpch import tpch_application
+
+_BUILDERS = {
+    "tpcds": tpcds_application,
+    "tpch": tpch_application,
+    "join": hibench_join,
+    "scan": hibench_scan,
+    "aggregation": hibench_aggregation,
+}
+
+#: Display names used by the paper's figures, keyed by builder name.
+DISPLAY_NAMES = {
+    "tpcds": "TPC-DS",
+    "tpch": "TPC-H",
+    "join": "Join",
+    "scan": "Scan",
+    "aggregation": "Aggregation",
+}
+
+#: The five input data sizes of Table 1, in GB.
+PAPER_DATASIZES_GB = (100.0, 200.0, 300.0, 400.0, 500.0)
+
+
+def list_benchmarks() -> list[str]:
+    """Names accepted by :func:`get_application`, in paper order."""
+    return list(_BUILDERS)
+
+
+def get_application(name: str) -> Application:
+    """Build a benchmark application by name (case-insensitive)."""
+    key = name.lower().replace("-", "").replace("_", "")
+    key = {"tpcds": "tpcds", "tpch": "tpch"}.get(key, key)
+    try:
+        return _BUILDERS[key]()
+    except KeyError:
+        raise ValueError(f"unknown benchmark {name!r}; choose from {list(_BUILDERS)}") from None
+
+
+__all__ = [
+    "DISPLAY_NAMES",
+    "PAPER_DATASIZES_GB",
+    "get_application",
+    "hibench_aggregation",
+    "hibench_join",
+    "hibench_scan",
+    "list_benchmarks",
+    "tpcds_application",
+    "tpch_application",
+]

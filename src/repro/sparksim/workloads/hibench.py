@@ -1,0 +1,73 @@
+"""HiBench SQL applications: Join, Scan, and Aggregation.
+
+Section 4.2: each HiBench SQL benchmark is a single query.  Join executes
+a Map and a Reduce phase over ``uservisits`` x ``rankings``; Scan is a
+map-only ``select`` that splits input records; Aggregation is a
+``select ... group by``.
+
+Because each application has exactly one query, QCSA keeps it regardless
+of its CV (eliminating every query would leave nothing to run); the
+benefit for these apps comes from IICP and DAGP alone, matching the
+paper's per-benchmark breakdown where HiBench gains are smaller than
+TPC-DS gains (Figures 11-14).
+"""
+
+from __future__ import annotations
+
+from repro.sparksim.query import Application, Query, Stage, StageKind
+
+
+def hibench_join() -> Application:
+    """Join: Map + Reduce over the full uservisits/rankings input."""
+    query = Query(
+        name="join",
+        stages=(
+            Stage(
+                kind=StageKind.SHUFFLE_JOIN,
+                input_fraction=0.9,
+                shuffle_fraction=0.35,
+                cpu_weight=1.1,
+                fields=15,
+                skew=0.3,
+            ),
+        ),
+        category="join",
+    )
+    return Application(name="Join", queries=(query,), description="HiBench SQL Join")
+
+
+def hibench_scan() -> Application:
+    """Scan: map-only select splitting records by the field delimiter."""
+    query = Query(
+        name="scan",
+        stages=(
+            Stage(
+                kind=StageKind.SCAN,
+                input_fraction=1.0,
+                shuffle_fraction=0.0,
+                cpu_weight=0.30,
+                fields=9,
+            ),
+        ),
+        category="selection",
+    )
+    return Application(name="Scan", queries=(query,), description="HiBench SQL Scan")
+
+
+def hibench_aggregation() -> Application:
+    """Aggregation: select (map) + group by (reduce)."""
+    query = Query(
+        name="aggregation",
+        stages=(
+            Stage(
+                kind=StageKind.SHUFFLE_AGG,
+                input_fraction=0.95,
+                shuffle_fraction=0.25,
+                cpu_weight=0.9,
+                fields=9,
+                skew=0.2,
+            ),
+        ),
+        category="aggregation",
+    )
+    return Application(name="Aggregation", queries=(query,), description="HiBench SQL Aggregation")

@@ -1,0 +1,84 @@
+"""TPC-H application builder: 22 queries.
+
+TPC-H is join-dominated around ``lineitem``; the shuffle-heavy queries
+(multi-way joins Q5, Q7, Q8, Q9 and the large semi-join/group-by queries
+Q17, Q18, Q21) are configuration-sensitive, the rest mostly scan-and-
+aggregate small volumes.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.sparksim.query import Application, Query, Stage, StageKind
+
+#: Shuffle-heavy TPC-H queries and their shuffled input fraction.
+SENSITIVE_QUERIES: dict[str, float] = {
+    "Q09": 0.40,
+    "Q21": 0.34,
+    "Q18": 0.28,
+    "Q08": 0.24,
+    "Q05": 0.22,
+    "Q17": 0.20,
+    "Q07": 0.17,
+}
+
+
+def tpch_query_names() -> list[str]:
+    return [f"Q{n:02d}" for n in range(1, 23)]
+
+
+def _rng(name: str) -> np.random.Generator:
+    return np.random.default_rng(zlib.crc32(f"tpch-{name}".encode("ascii")))
+
+
+def _sensitive(name: str, shuffle_fraction: float) -> Query:
+    rng = _rng(name)
+    join = Stage(
+        kind=StageKind.SHUFFLE_JOIN,
+        input_fraction=float(rng.uniform(0.4, 0.75)),  # lineitem-scale scans
+        shuffle_fraction=shuffle_fraction * 0.8,
+        cpu_weight=float(rng.uniform(0.9, 1.3)),
+        fields=int(rng.integers(20, 60)),
+        skew=float(rng.uniform(0.1, 0.4)),
+    )
+    agg = Stage(
+        kind=StageKind.SHUFFLE_AGG,
+        input_fraction=shuffle_fraction * 0.2,
+        shuffle_fraction=shuffle_fraction * 0.2,
+        cpu_weight=0.8,
+        fields=12,
+    )
+    return Query(name=name, stages=(join, agg), category="join")
+
+
+def _light(name: str) -> Query:
+    rng = _rng(name)
+    broadcastable = bool(rng.random() < 0.4)
+    main = Stage(
+        kind=StageKind.BROADCAST_JOIN if broadcastable else StageKind.SHUFFLE_AGG,
+        input_fraction=float(rng.uniform(0.15, 0.7)),
+        shuffle_fraction=0.0 if broadcastable else float(rng.uniform(0.003, 0.03)),
+        cpu_weight=float(rng.uniform(0.3, 0.7)),
+        small_side_mb=float(rng.uniform(0.5, 5.0)) if broadcastable else 0.0,
+        fields=int(rng.integers(8, 40)),
+    )
+    category = "aggregation" if not broadcastable else "join"
+    return Query(name=name, stages=(main,), category=category)
+
+
+def tpch_application() -> Application:
+    """Build the 22-query TPC-H application."""
+    queries = []
+    for name in tpch_query_names():
+        if name in SENSITIVE_QUERIES:
+            queries.append(_sensitive(name, SENSITIVE_QUERIES[name]))
+        else:
+            queries.append(_light(name))
+    return Application(
+        name="TPC-H",
+        queries=tuple(queries),
+        description="TPC-H decision-support benchmark, 22 queries",
+    )

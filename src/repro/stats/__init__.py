@@ -1,0 +1,26 @@
+"""Statistics substrate: descriptive statistics, correlation, sampling.
+
+These are the statistical primitives LOCAT's techniques are built from:
+the coefficient of variation used by QCSA, the Spearman correlation used
+by CPS, and seeded sampling helpers used across the library.
+"""
+
+from repro.stats.correlation import pearson, spearman, rankdata
+from repro.stats.descriptive import (
+    coefficient_of_variation,
+    mean,
+    standard_deviation,
+    variance,
+)
+from repro.stats.sampling import ensure_rng
+
+__all__ = [
+    "coefficient_of_variation",
+    "ensure_rng",
+    "mean",
+    "pearson",
+    "rankdata",
+    "spearman",
+    "standard_deviation",
+    "variance",
+]

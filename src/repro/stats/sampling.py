@@ -1,0 +1,39 @@
+"""Seeded random-number helpers.
+
+Every stochastic component in the library accepts either a seed or a
+:class:`numpy.random.Generator`; this module centralises the conversion so
+experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Accepts ``None`` (fresh nondeterministic generator), an integer seed, or
+    an existing generator (returned unchanged so callers can share state).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, an int seed, or a Generator, got {type(rng)!r}")
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Used when an experiment fans out into parallel sub-experiments that must
+    each be individually reproducible.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

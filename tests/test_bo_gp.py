@@ -1,0 +1,121 @@
+"""Tests for Gaussian process regression."""
+
+import numpy as np
+import pytest
+
+from repro.bo.gp import GaussianProcess
+from repro.bo.kernels import Matern52Kernel, RBFKernel
+
+
+def make_gp(dim=1, noise=1e-6):
+    return GaussianProcess(RBFKernel(dim=dim, lengthscale=0.3), noise_variance=noise)
+
+
+class TestFitPredict:
+    def test_interpolates_training_points(self):
+        x = np.linspace(0, 1, 8)[:, None]
+        y = np.sin(4 * x).ravel()
+        gp = make_gp().fit(x, y)
+        mean, std = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=1e-3)
+        assert np.all(std < 0.05)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.array([[0.4], [0.5], [0.6]])
+        y = np.array([1.0, 1.1, 0.9])
+        gp = make_gp().fit(x, y)
+        _, std_near = gp.predict(np.array([[0.5]]))
+        _, std_far = gp.predict(np.array([[5.0]]))
+        assert std_far[0] > std_near[0]
+
+    def test_reverts_to_mean_far_away(self):
+        x = np.array([[0.0], [0.1]])
+        y = np.array([5.0, 7.0])
+        gp = make_gp().fit(x, y)
+        mean = gp.predict(np.array([[100.0]]), return_std=False)
+        assert mean[0] == pytest.approx(6.0, abs=0.2)  # training mean
+
+    def test_standardization_invariance(self):
+        # Predictions scale/shift with the targets.
+        x = np.linspace(0, 1, 10)[:, None]
+        y = np.sin(5 * x).ravel()
+        gp1 = make_gp().fit(x, y)
+        gp2 = make_gp().fit(x, 1000.0 + 50.0 * y)
+        xs = np.array([[0.33]])
+        m1 = gp1.predict(xs, return_std=False)[0]
+        m2 = gp2.predict(xs, return_std=False)[0]
+        assert m2 == pytest.approx(1000.0 + 50.0 * m1, rel=1e-6)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            make_gp().predict(np.zeros((1, 1)))
+
+    def test_shape_validation(self):
+        gp = make_gp(dim=2)
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((3, 1)), np.zeros(3))
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_nonfinite_rejected(self):
+        gp = make_gp()
+        with pytest.raises(ValueError):
+            gp.fit(np.array([[0.0], [np.nan]]), np.array([1.0, 2.0]))
+
+    def test_constant_targets_handled(self):
+        x = np.linspace(0, 1, 5)[:, None]
+        gp = make_gp().fit(x, np.full(5, 3.0))
+        mean, _ = gp.predict(np.array([[0.5]]))
+        assert mean[0] == pytest.approx(3.0, abs=1e-6)
+
+
+class TestHyperparameters:
+    def test_lml_prefers_true_lengthscale(self):
+        rng = np.random.default_rng(4)
+        x = rng.random((40, 1))
+        y = np.sin(6 * x).ravel()
+        gp = GaussianProcess(RBFKernel(dim=1, lengthscale=0.25), noise_variance=1e-4)
+        gp.fit(x, y)
+        good = gp.log_marginal_likelihood()
+        theta_bad = gp.get_theta().copy()
+        theta_bad[1] = np.log(20.0)  # absurdly long lengthscale
+        bad = gp.log_marginal_likelihood(theta_bad)
+        assert good > bad
+
+    def test_lml_evaluation_restores_state(self):
+        x = np.linspace(0, 1, 6)[:, None]
+        gp = make_gp().fit(x, np.sin(x).ravel())
+        before = gp.get_theta().copy()
+        gp.log_marginal_likelihood(before + 1.0)
+        np.testing.assert_allclose(gp.get_theta(), before)
+
+    def test_set_theta_refits(self):
+        x = np.linspace(0, 1, 6)[:, None]
+        y = np.sin(5 * x).ravel()
+        gp = make_gp().fit(x, y)
+        m_before = gp.predict(np.array([[0.5]]), return_std=False)[0]
+        theta = gp.get_theta()
+        theta[1] = np.log(5.0)
+        gp.set_theta(theta)
+        m_after = gp.predict(np.array([[0.5]]), return_std=False)[0]
+        assert m_before != pytest.approx(m_after)
+
+    def test_clone_with_theta_independent(self):
+        x = np.linspace(0, 1, 6)[:, None]
+        y = np.cos(3 * x).ravel()
+        gp = make_gp().fit(x, y)
+        clone = gp.clone_with_theta(gp.get_theta() + 0.5)
+        assert clone.is_fitted
+        assert not np.allclose(clone.get_theta(), gp.get_theta())
+
+    def test_works_with_matern(self):
+        x = np.linspace(0, 1, 12)[:, None]
+        y = np.sin(6 * x).ravel()
+        gp = GaussianProcess(Matern52Kernel(dim=1, lengthscale=0.3), noise_variance=1e-5)
+        gp.fit(x, y)
+        mean, _ = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=0.05)
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(RBFKernel(dim=1), noise_variance=0.0)

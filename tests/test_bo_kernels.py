@@ -1,0 +1,73 @@
+"""Tests for GP covariance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.bo.kernels import Matern52Kernel, RBFKernel
+
+
+@pytest.fixture(params=[RBFKernel, Matern52Kernel])
+def kernel(request):
+    return request.param(dim=3)
+
+
+class TestKernelContract:
+    def test_diagonal_is_signal_variance(self, kernel):
+        x = np.random.default_rng(0).random((5, 3))
+        k = kernel(x, x)
+        np.testing.assert_allclose(np.diag(k), kernel.signal_variance, rtol=1e-9)
+        np.testing.assert_allclose(kernel.diag(x), kernel.signal_variance)
+
+    def test_symmetry(self, kernel):
+        x = np.random.default_rng(1).random((6, 3))
+        k = kernel(x, x)
+        np.testing.assert_allclose(k, k.T, atol=1e-12)
+
+    def test_positive_semidefinite(self, kernel):
+        x = np.random.default_rng(2).random((10, 3))
+        k = kernel(x, x)
+        eigvals = np.linalg.eigvalsh(k)
+        assert eigvals.min() > -1e-9
+
+    def test_decays_with_distance(self, kernel):
+        origin = np.zeros((1, 3))
+        near = np.full((1, 3), 0.1)
+        far = np.full((1, 3), 3.0)
+        assert kernel(origin, near)[0, 0] > kernel(origin, far)[0, 0]
+
+    def test_theta_roundtrip(self, kernel):
+        theta = kernel.get_theta()
+        kernel.set_theta(theta + 0.3)
+        np.testing.assert_allclose(kernel.get_theta(), theta + 0.3)
+
+    def test_theta_wrong_shape(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.set_theta(np.zeros(99))
+
+    def test_clone_is_independent(self, kernel):
+        clone = kernel.clone()
+        clone.set_theta(clone.get_theta() + 1.0)
+        assert not np.allclose(clone.get_theta(), kernel.get_theta())
+
+    def test_ard_lengthscales_matter(self, kernel):
+        kernel.lengthscales = np.array([0.1, 10.0, 10.0])
+        a = np.array([[0.0, 0.0, 0.0]])
+        b_dim0 = np.array([[0.5, 0.0, 0.0]])
+        b_dim1 = np.array([[0.0, 0.5, 0.0]])
+        # Movement along the short-lengthscale dim decorrelates faster.
+        assert kernel(a, b_dim0)[0, 0] < kernel(a, b_dim1)[0, 0]
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            RBFKernel(dim=0)
+        with pytest.raises(ValueError):
+            Matern52Kernel(dim=0)
+
+
+class TestKernelDifferences:
+    def test_matern_heavier_tails_than_rbf(self):
+        rbf = RBFKernel(dim=1, lengthscale=1.0)
+        matern = Matern52Kernel(dim=1, lengthscale=1.0)
+        a = np.array([[0.0]])
+        b = np.array([[3.0]])
+        assert matern(a, b)[0, 0] > rbf(a, b)[0, 0]

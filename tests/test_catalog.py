@@ -1,0 +1,58 @@
+"""Tests for the synthetic TPC catalogs."""
+
+import pytest
+
+from repro.sparksim.catalog import TPCDS_TABLES, TPCH_TABLES, table_size_gb
+
+
+class TestTPCDSCatalog:
+    def test_fact_shares_sum_to_one(self):
+        total = sum(t.size_share for t in TPCDS_TABLES.values() if t.is_fact)
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_fact_tables_scale_linearly(self):
+        at100 = table_size_gb(TPCDS_TABLES, "store_sales", 100.0)
+        at500 = table_size_gb(TPCDS_TABLES, "store_sales", 500.0)
+        assert at500 == pytest.approx(5 * at100)
+
+    def test_dimensions_do_not_scale(self):
+        at100 = table_size_gb(TPCDS_TABLES, "store", 100.0)
+        at500 = table_size_gb(TPCDS_TABLES, "store", 500.0)
+        assert at100 == at500
+
+    def test_store_sales_dominates(self):
+        shares = {n: t.size_share for n, t in TPCDS_TABLES.items() if t.is_fact}
+        assert max(shares, key=shares.get) == "store_sales"
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(KeyError, match="unknown table"):
+            table_size_gb(TPCDS_TABLES, "no_such_table", 100.0)
+
+
+class TestTPCHCatalog:
+    def test_lineitem_dominates(self):
+        shares = {n: t.size_share for n, t in TPCH_TABLES.items() if t.is_fact}
+        assert max(shares, key=shares.get) == "lineitem"
+
+    def test_shares_sum_to_one(self):
+        total = sum(t.size_share for t in TPCH_TABLES.values() if t.is_fact)
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_nation_region_tiny(self):
+        assert table_size_gb(TPCH_TABLES, "nation", 1000.0) < 0.001
+
+
+class TestCatalogDrivesWorkloads:
+    def test_broadcast_sides_come_from_dimensions(self, tpcds):
+        # Broadcast-candidate joins carry build sides in the Table-2
+        # threshold range; shuffled joins carry large-dimension sides.
+        from repro.sparksim.query import StageKind
+
+        broadcast_sides = [
+            s.small_side_mb
+            for q in tpcds.queries
+            for s in q.stages
+            if s.kind is StageKind.BROADCAST_JOIN
+        ]
+        assert broadcast_sides, "expected some broadcast-candidate joins"
+        assert all(0.25 <= v <= 16 for v in broadcast_sides)

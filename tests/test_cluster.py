@@ -1,0 +1,68 @@
+"""Tests for repro.sparksim.cluster."""
+
+import pytest
+
+from repro.sparksim.cluster import ClusterSpec, NodeSpec, arm_cluster, get_cluster, x86_cluster
+
+
+class TestPresets:
+    def test_arm_matches_paper_section_41(self):
+        cluster = arm_cluster()
+        # 4 KUNPENG servers (1 master + 3 slaves), 4x32 cores and 512 GB each.
+        assert cluster.node.cores == 128
+        assert cluster.node.memory_gb == 512.0
+        assert cluster.worker_count == 3
+        assert cluster.total_cores == 384
+        assert cluster.total_memory_gb == 1536.0
+
+    def test_x86_matches_paper_section_41(self):
+        cluster = x86_cluster()
+        # 8 Xeon servers (1 master + 7 slaves), 2x10 cores and 64 GB each.
+        assert cluster.node.cores == 20
+        assert cluster.node.memory_gb == 64.0
+        assert cluster.worker_count == 7
+        assert cluster.total_cores == 140
+        assert cluster.total_memory_gb == 448.0
+
+    def test_container_fits_range_b_extremes(self):
+        # Range B allows 16 executor cores and 48 GB heap; the x86
+        # container must accommodate them.
+        cluster = x86_cluster()
+        assert cluster.container_cores >= 16
+        assert cluster.container_memory_gb >= 48
+
+    def test_arm_cores_slower_than_x86(self):
+        assert arm_cluster().node.core_speed < x86_cluster().node.core_speed
+
+    def test_get_cluster_roundtrip(self):
+        assert get_cluster("arm").name == "arm"
+        assert get_cluster("x86").name == "x86"
+
+    def test_get_cluster_unknown(self):
+        with pytest.raises(ValueError, match="unknown cluster"):
+            get_cluster("power9")
+
+
+class TestValidation:
+    def test_node_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cores=0, memory_gb=64, core_speed=1, disk_mb_per_s=500, network_mb_per_s=1000)
+
+    def test_node_rejects_negative_speed(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cores=8, memory_gb=64, core_speed=-1, disk_mb_per_s=500, network_mb_per_s=1000)
+
+    def test_cluster_rejects_container_bigger_than_node(self):
+        node = NodeSpec(cores=8, memory_gb=32, core_speed=1, disk_mb_per_s=500, network_mb_per_s=1000)
+        with pytest.raises(ValueError):
+            ClusterSpec(name="bad", node=node, worker_count=2, container_cores=16, container_memory_gb=16)
+
+    def test_cluster_rejects_zero_workers(self):
+        node = NodeSpec(cores=8, memory_gb=32, core_speed=1, disk_mb_per_s=500, network_mb_per_s=1000)
+        with pytest.raises(ValueError):
+            ClusterSpec(name="bad", node=node, worker_count=0, container_cores=4, container_memory_gb=16)
+
+    def test_aggregate_bandwidths_scale_with_workers(self):
+        cluster = x86_cluster()
+        assert cluster.aggregate_disk_mb_per_s == cluster.node.disk_mb_per_s * 7
+        assert cluster.aggregate_network_mb_per_s == cluster.node.network_mb_per_s * 7

@@ -1,0 +1,96 @@
+"""Tests for the Datasize-Aware Gaussian Process."""
+
+import numpy as np
+import pytest
+
+from repro.core.dagp import DatasizeAwareGP, normalize_datasize
+
+
+def synthetic_observations(rng, n=30):
+    """t = 100 * (1 + 4*(x0-0.7)^2) * ds ; minimum at x0 = 0.7."""
+    points = rng.random((n, 2))
+    datasizes = rng.choice([100.0, 300.0, 500.0], size=n)
+    durations = 100.0 * (1 + 4 * (points[:, 0] - 0.7) ** 2) * datasizes / 100.0
+    return points, datasizes, durations
+
+
+class TestNormalization:
+    def test_reference_is_one_tb(self):
+        assert normalize_datasize(1024.0) == pytest.approx(1.0)
+        assert normalize_datasize(512.0) == pytest.approx(0.5)
+
+
+class TestFitPredict:
+    def test_prediction_scales_with_datasize(self, rng):
+        points, datasizes, durations = synthetic_observations(rng)
+        model = DatasizeAwareGP(config_dim=2, n_mcmc=0).fit(points, datasizes, durations)
+        x = np.array([[0.7, 0.5]])
+        t100 = model.predict_duration(x, 100.0)[0]
+        t500 = model.predict_duration(x, 500.0)[0]
+        assert t500 > t100
+
+    def test_interpolates_training_data(self, rng):
+        points, datasizes, durations = synthetic_observations(rng)
+        model = DatasizeAwareGP(config_dim=2, n_mcmc=0).fit(points, datasizes, durations)
+        for i in range(5):
+            predicted = model.predict_duration(points[i : i + 1], datasizes[i])[0]
+            assert predicted == pytest.approx(durations[i], rel=0.2)
+
+    def test_positive_durations_required(self, rng):
+        model = DatasizeAwareGP(config_dim=2)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((2, 2)), np.array([100.0, 100.0]), np.array([1.0, -1.0]))
+
+    def test_dimension_checked(self, rng):
+        model = DatasizeAwareGP(config_dim=3)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, 2)), np.full(4, 100.0), np.ones(4))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DatasizeAwareGP(config_dim=2).predict(np.zeros((1, 2)), 100.0)
+
+    def test_invalid_config_dim(self):
+        with pytest.raises(ValueError):
+            DatasizeAwareGP(config_dim=0)
+
+
+class TestAcquisition:
+    def test_ei_mcmc_runs_and_is_nonnegative(self, rng):
+        points, datasizes, durations = synthetic_observations(rng)
+        model = DatasizeAwareGP(config_dim=2, n_mcmc=4).fit(points, datasizes, durations, rng=0)
+        candidates = rng.random((20, 2))
+        ei = model.acquisition(candidates, 300.0, best_duration_s=float(durations.min()))
+        assert ei.shape == (20,)
+        assert np.all(ei >= -1e-12)
+
+    def test_acquisition_favors_promising_region(self, rng):
+        points, datasizes, durations = synthetic_observations(rng, n=40)
+        model = DatasizeAwareGP(config_dim=2, n_mcmc=0).fit(points, datasizes, durations)
+        best = float(durations[datasizes == 300.0].min()) if np.any(datasizes == 300.0) else float(durations.min())
+        near_optimum = np.array([[0.7, 0.5]])
+        far = np.array([[0.05, 0.5]])
+        ei_near = model.acquisition(near_optimum, 300.0, best)
+        ei_far = model.acquisition(far, 300.0, best)
+        assert ei_near[0] > ei_far[0] * 0.5  # near-optimum at least competitive
+
+    def test_mcmc_marginalization_changes_scores(self, rng):
+        points, datasizes, durations = synthetic_observations(rng)
+        plain = DatasizeAwareGP(config_dim=2, n_mcmc=0).fit(points, datasizes, durations)
+        marginal = DatasizeAwareGP(config_dim=2, n_mcmc=6).fit(points, datasizes, durations, rng=1)
+        candidates = rng.random((10, 2))
+        best = float(durations.min())
+        a = plain.acquisition(candidates, 300.0, best)
+        b = marginal.acquisition(candidates, 300.0, best)
+        assert not np.allclose(a, b)
+
+    def test_transfer_across_datasizes(self, rng):
+        # Observations only at 100 GB still inform ranking at 500 GB.
+        points = rng.random((25, 1))
+        durations = 50.0 + 500.0 * (points[:, 0] - 0.6) ** 2
+        model = DatasizeAwareGP(config_dim=1, n_mcmc=0).fit(
+            points, np.full(25, 100.0), durations
+        )
+        good = model.predict_duration(np.array([[0.6]]), 500.0)[0]
+        bad = model.predict_duration(np.array([[0.05]]), 500.0)[0]
+        assert good < bad

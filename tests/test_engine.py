@@ -1,0 +1,176 @@
+"""Tests for the execution engine — the paper's causal mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.sparksim import SparkSQLSimulator, get_application, x86_cluster
+from repro.sparksim.query import Application, Query, Stage, StageKind
+
+
+@pytest.fixture()
+def sim(x86):
+    return SparkSQLSimulator(x86, noise=0.0)
+
+
+def single_stage_app(stage, category="join"):
+    return Application(name="one", queries=(Query(name="q", stages=(stage,), category=category),))
+
+
+class TestBasics:
+    def test_run_returns_all_queries(self, sim, tpcds):
+        metrics = sim.run(tpcds, sim.space.default(), 100.0, rng=0)
+        assert len(metrics.queries) == 104
+        assert metrics.duration_s == pytest.approx(sum(q.duration_s for q in metrics.queries))
+
+    def test_durations_positive(self, sim, tpch):
+        metrics = sim.run(tpch, sim.space.default(), 100.0, rng=0)
+        assert all(q.duration_s > 0 for q in metrics.queries)
+        assert metrics.gc_s >= 0
+
+    def test_datasize_must_be_positive(self, sim, join_app):
+        with pytest.raises(ValueError):
+            sim.run(join_app, sim.space.default(), 0.0)
+
+    def test_noise_reproducible_with_seed(self, x86, join_app):
+        sim = SparkSQLSimulator(x86, noise=0.05)
+        a = sim.run(join_app, sim.space.default(), 100.0, rng=5).duration_s
+        b = sim.run(join_app, sim.space.default(), 100.0, rng=5).duration_s
+        assert a == pytest.approx(b)
+
+    def test_noiseless_is_deterministic(self, sim, join_app):
+        a = sim.run(join_app, sim.space.default(), 100.0, rng=1).duration_s
+        b = sim.run(join_app, sim.space.default(), 100.0, rng=2).duration_s
+        assert a == pytest.approx(b)
+
+    def test_negative_noise_rejected(self, x86):
+        with pytest.raises(ValueError):
+            SparkSQLSimulator(x86, noise=-0.1)
+
+    def test_execution_slots_capped_by_cluster(self, sim):
+        config = sim.space.make(**{"executor.instances": 112, "executor.cores": 16})
+        assert sim.execution_slots(config) <= sim.cluster.total_cores
+
+
+class TestScalingLaws:
+    def test_time_grows_with_datasize(self, sim, join_app):
+        config = sim.space.default()
+        t100 = sim.run(join_app, config, 100.0).duration_s
+        t500 = sim.run(join_app, config, 500.0).duration_s
+        assert t500 > 2 * t100
+
+    def test_gc_grows_superlinearly_with_datasize(self, sim, join_app):
+        # Figure 19: under a fixed config GC time grows faster than data.
+        config = sim.space.make(**{"executor.memory": 16, "executor.cores": 4,
+                                   "memory.offHeap.enabled": False,
+                                   "sql.shuffle.partitions": 400})
+        gc100 = sim.run(join_app, config, 100.0).gc_s
+        gc500 = sim.run(join_app, config, 500.0).gc_s
+        assert gc500 > 5 * max(gc100, 1e-9)
+
+    def test_more_slots_means_faster(self, sim, join_app):
+        few = sim.space.make(**{"executor.instances": 9, "executor.cores": 1})
+        many = sim.space.make(**{"executor.instances": 70, "executor.cores": 2})
+        assert (
+            sim.run(join_app, many, 100.0).duration_s
+            < sim.run(join_app, few, 100.0).duration_s
+        )
+
+
+class TestConfigSensitivityMechanisms:
+    def test_scan_query_insensitive(self, sim, scan_app, rng):
+        # Section 5.11: map-only selection queries barely react to config.
+        times = [
+            sim.run(scan_app, sim.space.sample(rng), 100.0).duration_s for _ in range(12)
+        ]
+        cv = float(np.std(times) / np.mean(times))
+        assert cv < 0.5
+
+    def test_join_more_sensitive_than_scan(self, sim, join_app, scan_app, rng):
+        join_times, scan_times = [], []
+        for _ in range(12):
+            config = sim.space.sample(rng)
+            join_times.append(sim.run(join_app, config, 300.0).duration_s)
+            scan_times.append(sim.run(scan_app, config, 300.0).duration_s)
+        cv_join = float(np.std(join_times) / np.mean(join_times))
+        cv_scan = float(np.std(scan_times) / np.mean(scan_times))
+        assert cv_join > cv_scan
+
+    def test_shuffle_partitions_relieve_memory(self, sim, join_app):
+        base = {"executor.memory": 8, "executor.cores": 8, "memory.offHeap.enabled": False}
+        few = sim.space.make(**base, **{"sql.shuffle.partitions": 100})
+        many = sim.space.make(**base, **{"sql.shuffle.partitions": 1000})
+        assert (
+            sim.run(join_app, many, 300.0).duration_s
+            < sim.run(join_app, few, 300.0).duration_s
+        )
+
+    def test_compression_helps_shuffle_heavy_queries(self, sim, join_app):
+        on = sim.space.make(**{"shuffle.compress": True})
+        off = sim.space.make(**{"shuffle.compress": False})
+        assert sim.run(join_app, on, 300.0).duration_s < sim.run(join_app, off, 300.0).duration_s
+
+    def test_broadcast_join_short_circuits_shuffle(self, sim):
+        stage = Stage(
+            kind=StageKind.SHUFFLE_JOIN,
+            input_fraction=0.2,
+            shuffle_fraction=0.2,
+            small_side_mb=4.0,  # 4 MB: broadcastable within threshold range
+        )
+        app = single_stage_app(stage)
+        low = sim.space.make(**{"sql.autoBroadcastJoinThreshold": 1024})  # 1 MB
+        high = sim.space.make(**{"sql.autoBroadcastJoinThreshold": 8192})  # 8 MB
+        t_shuffled = sim.run(app, low, 200.0)
+        t_broadcast = sim.run(app, high, 200.0)
+        assert t_broadcast.duration_s < t_shuffled.duration_s
+        assert t_broadcast.queries[0].stages[0].broadcast
+        assert not t_shuffled.queries[0].stages[0].broadcast
+
+    def test_codegen_max_fields_penalty(self, sim):
+        stage = Stage(kind=StageKind.SCAN, input_fraction=0.3, cpu_weight=1.0, fields=150)
+        app = single_stage_app(stage, category="selection")
+        narrow = sim.space.make(**{"sql.codegen.maxFields": 50})  # codegen off
+        wide = sim.space.make(**{"sql.codegen.maxFields": 200})  # codegen on
+        assert sim.run(app, wide, 100.0).duration_s < sim.run(app, narrow, 100.0).duration_s
+
+    def test_default_deviation_penalty_u_shape(self, sim, join_app):
+        # Secondary knobs have interior sweet spots at their defaults.
+        at_default = sim.space.make(**{"sql.inMemoryColumnarStorage.batchSize": 10000})
+        low = sim.space.make(**{"sql.inMemoryColumnarStorage.batchSize": 5000})
+        high = sim.space.make(**{"sql.inMemoryColumnarStorage.batchSize": 20000})
+        t_def = sim.run(join_app, at_default, 100.0).duration_s
+        assert t_def < sim.run(join_app, low, 100.0).duration_s
+        assert t_def < sim.run(join_app, high, 100.0).duration_s
+
+    def test_skew_slows_reduce_side(self, sim):
+        def app_with_skew(skew):
+            stage = Stage(
+                kind=StageKind.SHUFFLE_JOIN, input_fraction=0.2, shuffle_fraction=0.2, skew=skew
+            )
+            return single_stage_app(stage)
+
+        flat = sim.run(app_with_skew(0.0), sim.space.default(), 200.0).duration_s
+        skewed = sim.run(app_with_skew(0.6), sim.space.default(), 200.0).duration_s
+        assert skewed > flat
+
+
+class TestMetricsDetail:
+    def test_stage_metrics_populated(self, sim, join_app):
+        metrics = sim.run(join_app, sim.space.default(), 100.0)
+        stage = metrics.queries[0].stages[0]
+        assert stage.partitions > 0
+        assert stage.waves >= 1
+        assert stage.duration_s == pytest.approx(
+            stage.compute_s + stage.io_s + stage.shuffle_s + stage.gc_s + stage.overhead_s
+        )
+
+    def test_shuffle_bytes_reported(self, sim, join_app):
+        metrics = sim.run(join_app, sim.space.default(), 200.0)
+        assert metrics.queries[0].shuffle_bytes_gb == pytest.approx(0.35 * 200.0)
+
+    def test_duration_of_subset(self, sim, tpch):
+        metrics = sim.run(tpch, sim.space.default(), 100.0)
+        two = metrics.duration_of(["Q01", "Q02"])
+        assert two == pytest.approx(
+            metrics.query_durations["Q01"] + metrics.query_durations["Q02"]
+        )
+        assert metrics.duration_of(None) == metrics.duration_s

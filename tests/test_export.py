@@ -1,0 +1,78 @@
+"""Tests for Spark configuration export."""
+
+import pytest
+
+from repro.core.export import (
+    diff_configs,
+    to_spark_defaults_conf,
+    to_spark_properties,
+    to_spark_submit_args,
+)
+
+
+class TestProperties:
+    def test_all_parameters_exported(self, space_x86):
+        props = to_spark_properties(space_x86.default())
+        assert len(props) == 38
+        assert all(k.startswith("spark.") for k in props)
+
+    def test_units_rendered(self, space_x86):
+        config = space_x86.make(**{
+            "executor.memory": 16,
+            "executor.memoryOverhead": 2048,
+            "shuffle.file.buffer": 48,
+            "locality.wait": 4,
+        })
+        props = to_spark_properties(config)
+        assert props["spark.executor.memory"] == "16g"
+        assert props["spark.executor.memoryOverhead"] == "2048m"
+        assert props["spark.shuffle.file.buffer"] == "48k"
+        assert props["spark.locality.wait"] == "4s"
+
+    def test_booleans_lowercase(self, space_x86):
+        props = to_spark_properties(space_x86.make(**{"shuffle.compress": True}))
+        assert props["spark.shuffle.compress"] == "true"
+        props = to_spark_properties(space_x86.make(**{"shuffle.compress": False}))
+        assert props["spark.shuffle.compress"] == "false"
+
+    def test_floats_compact(self, space_x86):
+        props = to_spark_properties(space_x86.make(**{"memory.fraction": 0.75}))
+        assert props["spark.memory.fraction"] == "0.75"
+
+    def test_dimensionless_ints(self, space_x86):
+        props = to_spark_properties(space_x86.make(**{"sql.shuffle.partitions": 800}))
+        assert props["spark.sql.shuffle.partitions"] == "800"
+
+
+class TestRendering:
+    def test_defaults_conf_is_parseable(self, space_x86):
+        conf = to_spark_defaults_conf(space_x86.default(), header="tuned by test")
+        lines = [l for l in conf.splitlines() if l and not l.startswith("#")]
+        assert len(lines) == 38
+        for line in lines:
+            key, value = line.split(None, 1)
+            assert key.startswith("spark.")
+            assert value.strip()
+
+    def test_header_commented(self, space_x86):
+        conf = to_spark_defaults_conf(space_x86.default(), header="line one\nline two")
+        assert conf.startswith("# line one\n# line two\n")
+
+    def test_submit_args_pairs(self, space_x86):
+        args = to_spark_submit_args(space_x86.default())
+        assert len(args) == 2 * 38
+        assert args[0] == "--conf"
+        assert "=" in args[1]
+
+
+class TestDiff:
+    def test_no_changes(self, space_x86):
+        config = space_x86.default()
+        assert diff_configs(config, config) == {}
+
+    def test_reports_changed_values(self, space_x86):
+        base = space_x86.default()
+        tuned = space_x86.make(**{"executor.memory": 32, "shuffle.compress": False})
+        diff = diff_configs(base, tuned)
+        assert diff["spark.executor.memory"] == (f"{base['executor.memory']}g", "32g")
+        assert diff["spark.shuffle.compress"] == ("true", "false")

@@ -1,0 +1,73 @@
+"""Tests for the experiment harness and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiment import (
+    collect_cv_samples,
+    collect_iicp_samples,
+    compare_tuners,
+    make_simulator,
+)
+from repro.harness.report import format_comparison, format_series, format_table
+
+
+class TestReport:
+    def test_table_alignment(self):
+        out = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_series_layout(self):
+        out = format_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [1.0, 2.0]})
+        assert "s1" in out and "s2" in out
+        assert len(out.splitlines()) == 4
+
+    def test_number_formatting(self):
+        out = format_table(["v"], [[123456.7]])
+        assert "123,457" in out
+
+    def test_comparison_table(self):
+        out = format_comparison("x", {"a": 1.0}, {"a": 1.1, "b": 2.0})
+        assert "paper x" in out and "measured x" in out
+
+
+class TestExperimentRunners:
+    def test_make_simulator_clusters(self):
+        assert make_simulator("arm").cluster.name == "arm"
+        assert make_simulator("x86").cluster.name == "x86"
+
+    def test_collect_cv_samples_shape(self):
+        samples = collect_cv_samples("join", "x86", 100.0, n_samples=3, rng=0)
+        assert set(samples) == {"join"}
+        assert len(samples["join"]) == 3
+
+    def test_collect_iicp_samples(self):
+        configs, durations, simulator = collect_iicp_samples(
+            "scan", "x86", 100.0, n_samples=4, rng=0
+        )
+        assert len(configs) == 4
+        assert durations.shape == (4,)
+        assert all(simulator.space.is_valid(c) for c in configs)
+
+    def test_compare_tuners_smoke(self):
+        from repro.baselines import RandomSearch
+
+        comparison = compare_tuners(
+            benchmark="scan",
+            cluster="x86",
+            datasize_gb=100.0,
+            seed=1,
+            locat_iterations=4,
+            baselines=(RandomSearch,),
+        )
+        assert "LOCAT" in comparison.results
+        assert "RandomSearch" in comparison.results
+        assert comparison.overhead_ratio("RandomSearch") > 0
+        assert comparison.speedup("RandomSearch") > 0

@@ -1,0 +1,117 @@
+"""Tests for the end-to-end LOCAT orchestrator.
+
+Budgets are shrunk so each test runs in a couple of seconds; the
+full-scale behaviour is exercised by the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LOCAT
+from repro.sparksim import SparkSQLSimulator
+
+
+def small_locat(simulator, app, **overrides):
+    defaults = dict(n_qcsa=12, n_iicp=10, max_iterations=8, min_iterations=4, n_mcmc=0, rng=5)
+    defaults.update(overrides)
+    return LOCAT(simulator, app, **defaults)
+
+
+class TestPipeline:
+    def test_tune_returns_valid_result(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app)
+        result = locat.tune(200.0)
+        assert result.tuner == "LOCAT"
+        assert result.best_duration_s > 0
+        assert result.overhead_s > 0
+        assert result.evaluations >= locat.n_qcsa
+        assert sim_x86.space.is_valid(result.best_config)
+
+    def test_beats_default_config(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app)
+        result = locat.tune(300.0)
+        default_time = sim_x86.run(join_app, sim_x86.space.default(), 300.0, rng=9).duration_s
+        assert result.best_duration_s < default_time
+
+    def test_bootstrap_happens_once(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app)
+        first = locat.tune(100.0)
+        second = locat.tune(300.0)
+        # The adaptation session skips the bootstrap, so it is cheaper in
+        # evaluations.
+        assert second.evaluations < first.evaluations
+
+    def test_qcsa_reduces_tpch(self, sim_x86, tpch):
+        locat = small_locat(sim_x86, tpch)
+        locat.bootstrap(200.0)
+        assert 1 <= len(locat.csq) < 22
+
+    def test_single_query_app_keeps_its_query(self, sim_x86, scan_app):
+        locat = small_locat(sim_x86, scan_app)
+        locat.bootstrap(100.0)
+        assert locat.csq == ["scan"]
+
+    def test_details_populated(self, sim_x86, join_app):
+        result = small_locat(sim_x86, join_app).tune(200.0)
+        assert "iicp_selected" in result.details
+        assert result.details["n_latent_dims"] >= 1
+        assert isinstance(result.details["csq"], list)
+
+    def test_reproducible_with_seed(self, x86, join_app):
+        a = small_locat(SparkSQLSimulator(x86), join_app, rng=7).tune(200.0)
+        b = small_locat(SparkSQLSimulator(x86), join_app, rng=7).tune(200.0)
+        assert a.best_duration_s == pytest.approx(b.best_duration_s)
+        assert a.best_config == b.best_config
+
+
+class TestAblations:
+    def test_all_parameter_mode(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app, use_iicp=False)
+        result = locat.tune(200.0)
+        assert result.details["n_latent_dims"] == 38
+        assert len(result.details["iicp_selected"]) == 38
+
+    def test_no_qcsa_keeps_all_queries(self, sim_x86, tpch):
+        locat = small_locat(sim_x86, tpch, use_qcsa=False)
+        locat.bootstrap(100.0)
+        assert locat.csq == tpch.query_names
+
+    def test_no_dagp_ignores_other_datasizes(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app, use_dagp=False)
+        locat.tune(100.0)
+        result = locat.tune(400.0)
+        assert result.best_duration_s > 0  # still works, just without transfer
+
+
+class TestAdaptation:
+    def test_adaptation_no_worse_than_reuse(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app, rng=3)
+        r100 = locat.tune(100.0)
+        r500 = locat.tune(500.0)
+        reused = np.mean([
+            sim_x86.run(join_app, r100.best_config, 500.0, rng=i).duration_s for i in range(3)
+        ])
+        # The carried incumbent guarantees LOCAT's adapted config is at
+        # least competitive with reusing the 100 GB config (noise margin).
+        assert r500.best_duration_s <= reused * 1.15
+
+    def test_observations_accumulate(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app)
+        locat.tune(100.0)
+        n_after_first = len(locat._observations)
+        locat.tune(300.0)
+        assert len(locat._observations) > n_after_first
+
+
+class TestDefaultReset:
+    def test_reset_only_touches_unselected_non_resource(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app)
+        locat.bootstrap(100.0)
+        config = sim_x86.space.sample(np.random.default_rng(0))
+        reset = locat._reset_unimportant_to_defaults(config)
+        defaults = sim_x86.space.default()
+        selected = set(locat.iicp_result.selected)
+        for name in sim_x86.space.names:
+            if name in selected or name in LOCAT.RESOURCE_PARAMETERS:
+                continue
+            assert reset[name] == defaults[name], name

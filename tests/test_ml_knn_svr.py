@@ -1,0 +1,97 @@
+"""Tests for KNN regression and kernel SVR."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNNRegressor
+from repro.ml.svr import KernelSVR
+
+
+class TestKNN:
+    def test_exact_match_returns_training_value(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([10.0, 20.0, 30.0])
+        model = KNNRegressor(n_neighbors=2).fit(x, y)
+        assert model.predict(np.array([[1.0]]))[0] == pytest.approx(20.0)
+
+    def test_uniform_weights_average(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        model = KNNRegressor(n_neighbors=2, weights="uniform").fit(x, y)
+        assert model.predict(np.array([[0.5]]))[0] == pytest.approx(5.0)
+
+    def test_distance_weights_favor_closer(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        model = KNNRegressor(n_neighbors=2, weights="distance").fit(x, y)
+        assert model.predict(np.array([[0.1]]))[0] < 5.0
+
+    def test_k_capped_at_n(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([1.0, 3.0])
+        model = KNNRegressor(n_neighbors=10, weights="uniform").fit(x, y)
+        assert model.predict(np.array([[0.5]]))[0] == pytest.approx(2.0)
+
+    def test_smooth_function_approximation(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((200, 1))
+        y = np.sin(4 * x[:, 0])
+        model = KNNRegressor(n_neighbors=5).fit(x, y)
+        xs = rng.random((50, 1))
+        err = float(np.mean((model.predict(xs) - np.sin(4 * xs[:, 0])) ** 2))
+        assert err < 0.01
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(n_neighbors=0)
+        with pytest.raises(ValueError):
+            KNNRegressor(weights="cosmic")
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KNNRegressor().predict(np.zeros((1, 1)))
+
+
+class TestKernelSVR:
+    def test_fits_nonlinear_function(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(120, 1))
+        y = np.sin(3 * x[:, 0])
+        model = KernelSVR(c=50.0, epsilon=0.02, n_iterations=600).fit(x, y)
+        pred = model.predict(x)
+        assert float(np.mean((pred - y) ** 2)) < 0.05
+
+    def test_epsilon_tube_tolerates_noise(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((60, 1))
+        y = 2.0 * x[:, 0] + rng.normal(0, 0.02, 60)
+        model = KernelSVR(epsilon=0.2).fit(x, y)
+        # A wide tube yields a flat-ish but finite fit.
+        assert np.all(np.isfinite(model.predict(x)))
+
+    def test_support_fraction_defined_after_fit(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((30, 2))
+        y = x[:, 0]
+        model = KernelSVR().fit(x, y)
+        assert 0.0 <= model.support_fraction <= 1.0
+
+    def test_target_destandardization(self):
+        rng = np.random.default_rng(4)
+        x = rng.random((50, 1))
+        y = 500.0 + 100.0 * x[:, 0]
+        model = KernelSVR(c=50.0).fit(x, y)
+        pred = model.predict(x)
+        assert pred.mean() == pytest.approx(y.mean(), rel=0.05)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KernelSVR(c=0)
+        with pytest.raises(ValueError):
+            KernelSVR(epsilon=-0.1)
+        with pytest.raises(ValueError):
+            KernelSVR(n_iterations=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KernelSVR().predict(np.zeros((1, 1)))

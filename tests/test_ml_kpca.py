@@ -1,0 +1,111 @@
+"""Tests for Kernel PCA and its pre-image reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kpca import KernelPCA
+
+
+@pytest.fixture()
+def ring_data():
+    rng = np.random.default_rng(0)
+    angles = rng.uniform(0, 2 * np.pi, 60)
+    radius = 0.35 + 0.02 * rng.normal(size=60)
+    return 0.5 + np.column_stack([radius * np.cos(angles), radius * np.sin(angles)])
+
+
+class TestFitTransform:
+    def test_latent_shape(self, ring_data):
+        kpca = KernelPCA(n_components=2).fit(ring_data)
+        latents = kpca.transform(ring_data)
+        assert latents.shape == (60, 2)
+        assert kpca.n_components_ == 2
+
+    def test_explained_variance_selects_dimension(self, ring_data):
+        strict = KernelPCA(explained_variance=0.99).fit(ring_data)
+        loose = KernelPCA(explained_variance=0.50).fit(ring_data)
+        assert strict.n_components_ >= loose.n_components_
+
+    def test_component_cap_at_n_minus_one(self):
+        x = np.random.default_rng(1).random((5, 10))
+        kpca = KernelPCA(n_components=50).fit(x)
+        assert kpca.n_components_ <= 4
+
+    def test_latents_centered(self, ring_data):
+        kpca = KernelPCA(n_components=3).fit(ring_data)
+        latents = kpca.transform(ring_data)
+        np.testing.assert_allclose(latents.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_first_component_has_highest_variance(self, ring_data):
+        kpca = KernelPCA(n_components=3).fit(ring_data)
+        variances = kpca.transform(ring_data).var(axis=0)
+        assert variances[0] >= variances[1] >= variances[2]
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            KernelPCA().fit(np.zeros((1, 3)))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KernelPCA().transform(np.zeros((1, 2)))
+
+    @pytest.mark.parametrize("kernel", ["gaussian", "polynomial", "perceptron"])
+    def test_all_kernels_fit(self, ring_data, kernel):
+        kpca = KernelPCA(kernel=kernel, n_components=2).fit(ring_data)
+        latents = kpca.transform(ring_data)
+        assert np.all(np.isfinite(latents))
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            KernelPCA(kernel="spectral")
+
+
+class TestPreimage:
+    def test_training_points_roundtrip_exactly(self, ring_data):
+        # The pre-image seeds from the nearest training point, so training
+        # latents must invert to themselves — the property LOCAT's latent
+        # codec depends on.
+        kpca = KernelPCA(n_components=3).fit(ring_data)
+        latents = kpca.transform(ring_data[:5])
+        rebuilt = kpca.inverse_transform(latents)
+        np.testing.assert_allclose(rebuilt, ring_data[:5], atol=1e-9)
+
+    def test_preimage_in_unit_cube(self, ring_data):
+        kpca = KernelPCA(n_components=2).fit(ring_data)
+        low, high = kpca.latent_bounds()
+        rng = np.random.default_rng(2)
+        z = low + rng.random((10, 2)) * (high - low)
+        points = kpca.inverse_transform(z)
+        assert np.all(points >= 0) and np.all(points <= 1)
+
+    def test_local_continuity(self, ring_data):
+        # Nearby latents decode to nearby inputs (minimum-movement
+        # pre-image) — required for BO exploitation.
+        kpca = KernelPCA(n_components=2).fit(ring_data)
+        z = kpca.transform(ring_data[3:4])
+        base = kpca.inverse_transform(z)[0]
+        jittered = kpca.inverse_transform(z + 0.01)[0]
+        assert np.linalg.norm(jittered - base) < 0.3
+
+    def test_wrong_latent_dim_rejected(self, ring_data):
+        kpca = KernelPCA(n_components=2).fit(ring_data)
+        with pytest.raises(ValueError):
+            kpca.inverse_transform(np.zeros((1, 5)))
+
+    def test_latent_bounds_cover_training(self, ring_data):
+        kpca = KernelPCA(n_components=2).fit(ring_data)
+        low, high = kpca.latent_bounds()
+        latents = kpca.transform(ring_data)
+        assert np.all(latents >= low) and np.all(latents <= high)
+
+
+class TestValidation:
+    def test_invalid_n_components(self):
+        with pytest.raises(ValueError):
+            KernelPCA(n_components=0)
+
+    def test_invalid_explained_variance(self):
+        with pytest.raises(ValueError):
+            KernelPCA(explained_variance=0.0)
+        with pytest.raises(ValueError):
+            KernelPCA(explained_variance=1.5)

@@ -1,0 +1,88 @@
+"""Tests for linear models."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression, LogisticRegression, RidgeRegression
+
+
+@pytest.fixture()
+def linear_data():
+    rng = np.random.default_rng(0)
+    x = rng.random((60, 3))
+    y = 2.0 * x[:, 0] - 1.0 * x[:, 1] + 0.5 + 0.01 * rng.normal(size=60)
+    return x, y
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, linear_data):
+        x, y = linear_data
+        model = LinearRegression().fit(x, y)
+        assert model.coef_[0] == pytest.approx(2.0, abs=0.05)
+        assert model.coef_[1] == pytest.approx(-1.0, abs=0.05)
+        assert model.intercept_ == pytest.approx(0.5, abs=0.05)
+
+    def test_predict_shape(self, linear_data):
+        x, y = linear_data
+        model = LinearRegression().fit(x, y)
+        assert model.predict(x).shape == (60,)
+
+    def test_rank_deficient_ok(self):
+        # Duplicate column: lstsq handles the singular design.
+        x = np.random.default_rng(1).random((20, 2))
+        x = np.hstack([x, x[:, :1]])
+        y = x[:, 0] + x[:, 1]
+        model = LinearRegression().fit(x, y)
+        assert np.all(np.isfinite(model.predict(x)))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.zeros((1, 2)))
+
+    def test_mismatched_rows(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestRidgeRegression:
+    def test_matches_ols_at_zero_alpha(self, linear_data):
+        x, y = linear_data
+        ols = LinearRegression().fit(x, y)
+        ridge = RidgeRegression(alpha=0.0).fit(x, y)
+        np.testing.assert_allclose(ridge.coef_, ols.coef_, atol=1e-6)
+
+    def test_shrinkage(self, linear_data):
+        x, y = linear_data
+        weak = RidgeRegression(alpha=0.01).fit(x, y)
+        strong = RidgeRegression(alpha=1000.0).fit(x, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+
+class TestLogisticRegression:
+    def test_fits_monotone_relation(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((80, 1))
+        y = 3.0 * x[:, 0] + 1.0
+        model = LogisticRegression(n_iterations=800).fit(x, y)
+        pred = model.predict(x)
+        # Predictions track the monotone trend even through the sigmoid.
+        assert np.corrcoef(pred, y)[0, 1] > 0.9
+
+    def test_predictions_within_target_range(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((50, 2))
+        y = 10.0 + 5.0 * x[:, 0]
+        model = LogisticRegression().fit(x, y)
+        pred = model.predict(x)
+        assert pred.min() >= 10.0 - 1e-6
+        assert pred.max() <= 15.0 + 1e-6
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(n_iterations=0)

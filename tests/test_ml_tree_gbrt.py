@@ -1,0 +1,114 @@
+"""Tests for regression trees and gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gbrt import GradientBoostedRegressionTrees
+from repro.ml.tree import RegressionTree
+
+
+@pytest.fixture()
+def step_data():
+    x = np.linspace(0, 1, 50)[:, None]
+    y = np.where(x[:, 0] < 0.5, 1.0, 3.0)
+    return x, y
+
+
+class TestRegressionTree:
+    def test_learns_step_function(self, step_data):
+        x, y = step_data
+        tree = RegressionTree(max_depth=2).fit(x, y)
+        np.testing.assert_allclose(tree.predict(x), y, atol=1e-9)
+
+    def test_depth_limit_respected(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((100, 2))
+        y = rng.random(100)
+        tree = RegressionTree(max_depth=3).fit(x, y)
+        assert tree.depth <= 3
+
+    def test_constant_target_single_leaf(self):
+        x = np.random.default_rng(1).random((20, 2))
+        tree = RegressionTree().fit(x, np.full(20, 5.0))
+        assert tree.depth == 0
+        np.testing.assert_allclose(tree.predict(x), 5.0)
+
+    def test_min_samples_leaf(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 10.0, 10.0])
+        tree = RegressionTree(min_samples_leaf=2).fit(x, y)
+        # The only legal split leaves two samples per side.
+        assert tree.predict(np.array([[0.5]]))[0] == pytest.approx(0.0)
+
+    def test_feature_importances_point_to_signal(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((200, 3))
+        y = 5.0 * (x[:, 1] > 0.5)  # only feature 1 matters
+        tree = RegressionTree(max_depth=3).fit(x, y)
+        assert int(np.argmax(tree.feature_importances_)) == 1
+
+    def test_predict_wrong_width(self, step_data):
+        x, y = step_data
+        tree = RegressionTree().fit(x, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((2, 5)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_split=1)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestGBRT:
+    def test_beats_single_tree_on_smooth_target(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((150, 1))
+        y = np.sin(6 * x[:, 0])
+        tree = RegressionTree(max_depth=3).fit(x, y)
+        gbrt = GradientBoostedRegressionTrees(n_estimators=100, max_depth=3).fit(x, y)
+        err_tree = float(np.mean((tree.predict(x) - y) ** 2))
+        err_gbrt = float(np.mean((gbrt.predict(x) - y) ** 2))
+        assert err_gbrt < err_tree / 2
+
+    def test_staged_predictions_improve(self):
+        rng = np.random.default_rng(4)
+        x = rng.random((100, 2))
+        y = x[:, 0] * 2 + x[:, 1]
+        gbrt = GradientBoostedRegressionTrees(n_estimators=40).fit(x, y)
+        errors = [float(np.mean((p - y) ** 2)) for p in gbrt.staged_predict(x)]
+        assert errors[-1] < errors[0]
+
+    def test_feature_importances_normalized(self):
+        rng = np.random.default_rng(5)
+        x = rng.random((100, 4))
+        y = 3 * x[:, 2]
+        gbrt = GradientBoostedRegressionTrees(n_estimators=20).fit(x, y)
+        assert gbrt.feature_importances_.sum() == pytest.approx(1.0)
+        assert int(np.argmax(gbrt.feature_importances_)) == 2
+
+    def test_subsampling_reproducible_with_seed(self):
+        rng = np.random.default_rng(6)
+        x = rng.random((80, 2))
+        y = x[:, 0]
+        a = GradientBoostedRegressionTrees(n_estimators=10, subsample=0.7, rng=1).fit(x, y)
+        b = GradientBoostedRegressionTrees(n_estimators=10, subsample=0.7, rng=1).fit(x, y)
+        np.testing.assert_allclose(a.predict(x), b.predict(x))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GradientBoostedRegressionTrees(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostedRegressionTrees(learning_rate=0)
+        with pytest.raises(ValueError):
+            GradientBoostedRegressionTrees(subsample=1.5)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedRegressionTrees().predict(np.zeros((1, 2)))

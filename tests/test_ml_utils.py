@@ -1,0 +1,114 @@
+"""Tests for preprocessing, metrics, and validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import mean_absolute_error, mean_squared_error, r2_score
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.ml.validation import KFold, train_test_split
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        x = np.random.default_rng(0).random((50, 3)) * 10 + 5
+        scaled = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_maps_to_zero(self):
+        x = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self):
+        x = np.random.default_rng(1).random((20, 2))
+        scaler = StandardScaler().fit(x)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 2)))
+
+
+class TestMinMaxScaler:
+    def test_range_is_unit(self):
+        x = np.random.default_rng(2).random((30, 2)) * 100
+        scaled = MinMaxScaler().fit_transform(x)
+        np.testing.assert_allclose(scaled.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(scaled.max(axis=0), 1.0, atol=1e-12)
+
+    def test_inverse_roundtrip(self):
+        x = np.random.default_rng(3).random((15, 3))
+        scaler = MinMaxScaler().fit(x)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+
+class TestMetrics:
+    def test_mse_perfect(self):
+        assert mean_squared_error([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_mse_value(self):
+        assert mean_squared_error([0, 0], [1, 3]) == pytest.approx(5.0)
+
+    def test_mae_value(self):
+        assert mean_absolute_error([0, 0], [1, -3]) == pytest.approx(2.0)
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_constant_truth(self):
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+
+
+class TestSplits:
+    def test_train_test_sizes(self):
+        x = np.arange(40, dtype=float)[:, None]
+        y = np.arange(40, dtype=float)
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, test_fraction=0.25, rng=0)
+        assert len(x_te) == 10 and len(x_tr) == 30
+        assert len(y_te) == 10 and len(y_tr) == 30
+
+    def test_split_is_partition(self):
+        x = np.arange(20, dtype=float)[:, None]
+        y = np.arange(20, dtype=float)
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, rng=1)
+        assert sorted(np.concatenate([y_tr, y_te]).tolist()) == y.tolist()
+
+    def test_reproducible(self):
+        x = np.arange(12, dtype=float)[:, None]
+        y = np.arange(12, dtype=float)
+        a = train_test_split(x, y, rng=5)[3]
+        b = train_test_split(x, y, rng=5)[3]
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=1.0)
+
+    def test_kfold_covers_everything(self):
+        folds = list(KFold(n_splits=4, rng=0).split(20))
+        assert len(folds) == 4
+        all_test = np.concatenate([t for _, t in folds])
+        assert sorted(all_test.tolist()) == list(range(20))
+
+    def test_kfold_train_test_disjoint(self):
+        for train, test in KFold(n_splits=3, rng=1).split(15):
+            assert not set(train) & set(test)
+
+    def test_kfold_too_many_splits(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=10).split(5))
+
+    def test_kfold_min_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)

@@ -1,0 +1,65 @@
+"""Tests for the objective wrapper and overhead accounting."""
+
+import pytest
+
+from repro.core.objective import SparkSQLObjective
+
+
+class TestAccounting:
+    def test_overhead_accumulates(self, sim_x86, join_app):
+        objective = SparkSQLObjective(sim_x86, join_app, rng=0)
+        t1 = objective.run(sim_x86.space.default(), 100.0)
+        t2 = objective.run(sim_x86.space.default(), 100.0)
+        assert objective.overhead_s == pytest.approx(t1.duration_s + t2.duration_s)
+        assert objective.n_evaluations == 2
+
+    def test_overhead_hours(self, sim_x86, join_app):
+        objective = SparkSQLObjective(sim_x86, join_app, rng=0)
+        objective.run(sim_x86.space.default(), 100.0)
+        assert objective.overhead_hours == pytest.approx(objective.overhead_s / 3600.0)
+
+    def test_subset_runs_fewer_queries(self, sim_x86, tpch):
+        objective = SparkSQLObjective(sim_x86, tpch, rng=1)
+        full = objective.run(sim_x86.space.default(), 100.0)
+        sub = objective.run_subset(sim_x86.space.default(), 100.0, ["Q01", "Q09"])
+        assert len(sub.metrics.queries) == 2
+        assert sub.reduced and not full.reduced
+        assert sub.duration_s < full.duration_s
+
+    def test_measure_does_not_count(self, sim_x86, join_app):
+        objective = SparkSQLObjective(sim_x86, join_app, rng=2)
+        objective.measure(sim_x86.space.default(), 100.0, repeats=2)
+        assert objective.overhead_s == 0.0
+        assert objective.n_evaluations == 0
+
+    def test_measure_repeats_validated(self, sim_x86, join_app):
+        objective = SparkSQLObjective(sim_x86, join_app, rng=2)
+        with pytest.raises(ValueError):
+            objective.measure(sim_x86.space.default(), 100.0, repeats=0)
+
+
+class TestBestTrial:
+    def test_prefers_full_runs(self, sim_x86, tpch, rng):
+        objective = SparkSQLObjective(sim_x86, tpch, rng=3)
+        objective.run_subset(sim_x86.space.sample(rng), 100.0, ["Q01"])  # tiny duration
+        full = objective.run(sim_x86.space.sample(rng), 100.0)
+        best = objective.best_trial(100.0)
+        assert not best.reduced
+        assert best.duration_s == full.duration_s
+
+    def test_filters_by_datasize(self, sim_x86, join_app, rng):
+        objective = SparkSQLObjective(sim_x86, join_app, rng=4)
+        objective.run(sim_x86.space.sample(rng), 100.0)
+        t300 = objective.run(sim_x86.space.sample(rng), 300.0)
+        assert objective.best_trial(300.0).duration_s == t300.duration_s
+
+    def test_empty_history_raises(self, sim_x86, join_app):
+        objective = SparkSQLObjective(sim_x86, join_app)
+        with pytest.raises(RuntimeError):
+            objective.best_trial()
+
+    def test_falls_back_to_reduced_runs(self, sim_x86, tpch, rng):
+        objective = SparkSQLObjective(sim_x86, tpch, rng=5)
+        objective.run_subset(sim_x86.space.sample(rng), 100.0, ["Q01"])
+        best = objective.best_trial(100.0)
+        assert best.reduced

@@ -1,0 +1,84 @@
+"""Tests for the online tuning controller."""
+
+import pytest
+
+from repro.core import LOCAT
+from repro.core.online import OnlineController
+from repro.sparksim import SparkSQLSimulator
+
+
+@pytest.fixture()
+def controller(x86, join_app):
+    locat = LOCAT(
+        SparkSQLSimulator(x86), join_app,
+        n_qcsa=10, n_iicp=8, max_iterations=6, min_iterations=3, n_mcmc=0, rng=7,
+    )
+    return OnlineController(locat, datasize_margin=0.3, drift_factor=1.3, drift_patience=2)
+
+
+class TestLifecycle:
+    def test_first_observation_tunes(self, controller):
+        decision = controller.observe(100.0)
+        assert decision.retuned
+        assert decision.result is not None
+        assert controller.is_deployed
+
+    def test_same_datasize_reuses(self, controller):
+        controller.observe(100.0)
+        decision = controller.observe(100.0, duration_s=None)
+        assert not decision.retuned
+        assert decision.config == controller.deployed_config
+
+    def test_nearby_datasize_reuses(self, controller):
+        controller.observe(100.0)
+        decision = controller.observe(120.0)
+        assert not decision.retuned  # 20% < 30% margin
+
+    def test_far_datasize_triggers_adaptation(self, controller):
+        controller.observe(100.0)
+        decision = controller.observe(400.0)
+        assert decision.retuned
+        assert "400" in decision.reason
+
+    def test_deployed_config_before_observe(self, controller):
+        with pytest.raises(RuntimeError):
+            _ = controller.deployed_config
+
+    def test_invalid_datasize(self, controller):
+        with pytest.raises(ValueError):
+            controller.observe(-5.0)
+
+
+class TestDriftDetection:
+    def test_consistent_slowdown_triggers_retune(self, controller):
+        first = controller.observe(100.0)
+        baseline = first.result.best_duration_s
+        # Two consecutive runs far above expectation -> drift.
+        controller.observe(100.0, duration_s=baseline * 3.0)
+        decision = controller.observe(100.0, duration_s=baseline * 3.0)
+        assert decision.retuned
+        assert "consecutive" in decision.reason
+
+    def test_single_slow_run_tolerated(self, controller):
+        first = controller.observe(100.0)
+        baseline = first.result.best_duration_s
+        decision = controller.observe(100.0, duration_s=baseline * 3.0)
+        assert not decision.retuned  # patience = 2
+
+    def test_normal_runs_never_retune(self, controller):
+        first = controller.observe(100.0)
+        baseline = first.result.best_duration_s
+        for _ in range(4):
+            decision = controller.observe(100.0, duration_s=baseline)
+            assert not decision.retuned
+
+
+class TestValidation:
+    def test_constructor_guards(self, x86, join_app):
+        locat = LOCAT(SparkSQLSimulator(x86), join_app, rng=0)
+        with pytest.raises(ValueError):
+            OnlineController(locat, datasize_margin=0.0)
+        with pytest.raises(ValueError):
+            OnlineController(locat, drift_factor=1.0)
+        with pytest.raises(ValueError):
+            OnlineController(locat, drift_patience=0)

@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bo.lhs import latin_hypercube
+from repro.ml.kpca import KernelPCA
+from repro.sparksim import SparkSQLSimulator, get_application, x86_cluster
+from repro.sparksim.configspace import ConfigSpace
+from repro.stats.correlation import pearson, rankdata, spearman
+from repro.stats.descriptive import coefficient_of_variation
+
+SPACE = ConfigSpace.for_cluster(x86_cluster())
+SIM = SparkSQLSimulator(x86_cluster(), noise=0.0)
+JOIN = get_application("join")
+
+unit_points = hnp.arrays(
+    dtype=float,
+    shape=38,
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+positive_lists = st.lists(
+    st.floats(0.1, 1e6, allow_nan=False, allow_infinity=False), min_size=2, max_size=40
+)
+
+
+class TestConfigSpaceProperties:
+    @given(unit_points)
+    @settings(max_examples=40, deadline=None)
+    def test_decode_always_valid(self, point):
+        config = SPACE.decode(point)
+        assert SPACE.is_valid(config)
+
+    @given(unit_points)
+    @settings(max_examples=40, deadline=None)
+    def test_decode_encode_decode_fixpoint(self, point):
+        config = SPACE.decode(point)
+        again = SPACE.decode(SPACE.encode(config))
+        assert config == again
+
+    @given(unit_points)
+    @settings(max_examples=25, deadline=None)
+    def test_repair_idempotent(self, point):
+        config = SPACE.decode(point)
+        assert SPACE.repair(config) == config
+
+
+class TestSimulatorProperties:
+    @given(unit_points, st.floats(50.0, 800.0))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_durations_finite_positive(self, point, datasize):
+        config = SPACE.decode(point)
+        metrics = SIM.run(JOIN, config, datasize)
+        assert np.isfinite(metrics.duration_s)
+        assert metrics.duration_s > 0
+        assert metrics.gc_s >= 0
+
+    @given(unit_points)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_monotone_in_datasize(self, point):
+        config = SPACE.decode(point)
+        t_small = SIM.run(JOIN, config, 100.0).duration_s
+        t_large = SIM.run(JOIN, config, 500.0).duration_s
+        assert t_large > t_small
+
+
+class TestStatsProperties:
+    @given(positive_lists)
+    @settings(max_examples=50)
+    def test_cv_nonnegative_and_scale_free(self, values):
+        cv = coefficient_of_variation(values)
+        assert cv >= 0
+        assert cv == pytest.approx(
+            coefficient_of_variation([v * 3.7 for v in values]), rel=1e-9
+        )
+
+    @given(positive_lists)
+    @settings(max_examples=50)
+    def test_rankdata_is_permutation_of_ranks(self, values):
+        ranks = rankdata(values)
+        assert ranks.sum() == pytest.approx(len(values) * (len(values) + 1) / 2)
+        assert ranks.min() >= 1 and ranks.max() <= len(values)
+
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=3, max_size=30),
+    )
+    @settings(max_examples=50)
+    def test_correlations_bounded(self, xs):
+        ys = [x * 2 + 1 for x in xs]
+        assert -1.0 <= pearson(xs, ys) <= 1.0
+        assert -1.0 <= spearman(xs, ys) <= 1.0
+
+    @given(st.lists(st.floats(0.1, 100, allow_nan=False), min_size=3, max_size=30))
+    @settings(max_examples=50)
+    def test_spearman_invariant_under_monotone_transform(self, xs):
+        ys = list(np.cumsum(np.abs(xs)) + 1.0)  # strictly increasing target
+        direct = spearman(xs, ys)
+        transformed = spearman([np.log1p(abs(x)) * np.sign(x) for x in xs], ys)
+        # log1p(|x|)*sign(x) preserves order of xs.
+        assert direct == pytest.approx(transformed, abs=1e-9)
+
+
+class TestLHSProperties:
+    @given(st.integers(2, 30), st.integers(1, 10), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40)
+    def test_stratification_always_holds(self, n, dim, seed):
+        samples = latin_hypercube(n, dim, rng=seed)
+        assert samples.shape == (n, dim)
+        for j in range(dim):
+            strata = np.floor(samples[:, j] * n).astype(int)
+            strata = np.clip(strata, 0, n - 1)
+            assert sorted(strata.tolist()) == list(range(n))
+
+
+class TestKPCAProperties:
+    @given(
+        hnp.arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(6, 20), st.integers(2, 6)),
+            elements=st.floats(0.0, 1.0, allow_nan=False),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_training_roundtrip_property(self, x):
+        # Degenerate constant inputs are legitimately rejected.
+        if np.ptp(x) < 1e-6:
+            return
+        try:
+            kpca = KernelPCA(n_components=2).fit(x)
+        except ValueError:
+            return
+        latents = kpca.transform(x[:3])
+        rebuilt = kpca.inverse_transform(latents)
+        np.testing.assert_allclose(rebuilt, x[:3], atol=1e-6)

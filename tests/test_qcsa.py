@@ -1,0 +1,83 @@
+"""Tests for Query Configuration Sensitivity Analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import SparkSQLObjective
+from repro.core.qcsa import QCSA, analyze_samples, classify_queries
+
+
+class TestClassification:
+    def test_three_band_split(self):
+        cvs = {"a": 0.1, "b": 0.2, "c": 2.0, "d": 3.1}
+        result = classify_queries(cvs)
+        # width = (3.1 - 0.1)/3 = 1.0; threshold = 1.1.
+        assert result.threshold == pytest.approx(1.1)
+        assert set(result.ciq) == {"a", "b"}
+        assert set(result.csq) == {"c", "d"}
+
+    def test_single_query_always_csq(self):
+        result = classify_queries({"only": 0.01})
+        assert result.csq == ("only",)
+        assert result.ciq == ()
+
+    def test_identical_cvs_keep_everything(self):
+        result = classify_queries({"a": 0.5, "b": 0.5, "c": 0.5})
+        assert len(result.csq) == 3
+
+    def test_order_preserved(self):
+        cvs = {"q3": 2.0, "q1": 2.5, "q2": 0.1}
+        result = classify_queries(cvs)
+        assert result.csq == ("q3", "q1")
+
+    def test_reduction_ratio(self):
+        result = classify_queries({"a": 0.0, "b": 0.0, "c": 0.0, "d": 3.0})
+        assert result.reduction_ratio == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classify_queries({})
+
+
+class TestAnalyzeSamples:
+    def test_cv_computation(self):
+        samples = {"flat": [10.0, 10.0, 10.0], "wild": [1.0, 10.0, 100.0]}
+        result = analyze_samples(samples)
+        assert result.cvs["flat"] == pytest.approx(0.0)
+        assert result.cvs["wild"] > 1.0
+        assert "wild" in result.csq and "flat" in result.ciq
+        assert result.n_samples == 3
+
+    def test_ragged_samples_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_samples({"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_single_run_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_samples({"a": [1.0]})
+
+
+class TestQCSADriver:
+    def test_collect_shape(self, sim_x86, tpch):
+        objective = SparkSQLObjective(sim_x86, tpch, rng=0)
+        samples = QCSA(n_samples=4).collect(objective, 100.0, rng=0)
+        assert set(samples) == set(tpch.query_names)
+        assert all(len(v) == 4 for v in samples.values())
+        assert objective.n_evaluations == 4
+
+    def test_run_produces_split(self, sim_x86, tpch):
+        objective = SparkSQLObjective(sim_x86, tpch, rng=1)
+        result = QCSA(n_samples=6).run(objective, 200.0, rng=1)
+        assert len(result.csq) + len(result.ciq) == 22
+        assert len(result.csq) >= 1
+
+    def test_sensitive_tpch_queries_rank_high(self, sim_x86, tpch):
+        # Q09 (the biggest shuffler) should have a higher CV than Q01.
+        objective = SparkSQLObjective(sim_x86, tpch, rng=2)
+        samples = QCSA(n_samples=12).collect(objective, 300.0, rng=2)
+        result = analyze_samples(samples)
+        assert result.cvs["Q09"] > result.cvs["Q01"]
+
+    def test_minimum_samples_enforced(self):
+        with pytest.raises(ValueError):
+            QCSA(n_samples=1)

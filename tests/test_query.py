@@ -1,0 +1,90 @@
+"""Tests for repro.sparksim.query."""
+
+import pytest
+
+from repro.sparksim.query import Application, Query, Stage, StageKind
+
+
+def make_query(name="q", shuffle=0.1):
+    return Query(
+        name=name,
+        stages=(Stage(StageKind.SHUFFLE_JOIN, input_fraction=0.2, shuffle_fraction=shuffle),),
+        category="join",
+    )
+
+
+class TestStage:
+    def test_valid_stage(self):
+        stage = Stage(StageKind.SCAN, input_fraction=0.5)
+        assert stage.shuffle_fraction == 0.0
+        assert stage.cpu_weight == 1.0
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(StageKind.SCAN, input_fraction=-0.1)
+
+    def test_zero_cpu_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(StageKind.SCAN, input_fraction=0.1, cpu_weight=0.0)
+
+    def test_skew_bounds(self):
+        with pytest.raises(ValueError):
+            Stage(StageKind.SCAN, input_fraction=0.1, skew=1.5)
+
+    def test_fields_positive(self):
+        with pytest.raises(ValueError):
+            Stage(StageKind.SCAN, input_fraction=0.1, fields=0)
+
+
+class TestQuery:
+    def test_totals(self):
+        query = Query(
+            name="q",
+            stages=(
+                Stage(StageKind.SHUFFLE_JOIN, input_fraction=0.2, shuffle_fraction=0.1),
+                Stage(StageKind.SHUFFLE_AGG, input_fraction=0.1, shuffle_fraction=0.05),
+            ),
+            category="join",
+        )
+        assert query.total_shuffle_fraction == pytest.approx(0.15)
+        assert query.total_input_fraction == pytest.approx(0.3)
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(ValueError):
+            Query(name="q", stages=(), category="join")
+
+    def test_bad_category_rejected(self):
+        with pytest.raises(ValueError):
+            Query(name="q", stages=(Stage(StageKind.SCAN, 0.1),), category="mystery")
+
+
+class TestApplication:
+    def test_query_lookup(self):
+        app = Application(name="app", queries=(make_query("a"), make_query("b")))
+        assert app.query("a").name == "a"
+        with pytest.raises(KeyError):
+            app.query("c")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Application(name="app", queries=(make_query("a"), make_query("a")))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Application(name="app", queries=())
+
+    def test_subset_preserves_order(self):
+        app = Application(name="app", queries=tuple(make_query(n) for n in "abcd"))
+        reduced = app.subset(["c", "a"])
+        assert reduced.query_names == ["a", "c"]
+        assert reduced.name == "app-rqa"
+
+    def test_subset_unknown_query(self):
+        app = Application(name="app", queries=(make_query("a"),))
+        with pytest.raises(KeyError):
+            app.subset(["zz"])
+
+    def test_subset_empty_rejected(self):
+        app = Application(name="app", queries=(make_query("a"),))
+        with pytest.raises(ValueError):
+            app.subset([])

@@ -1,0 +1,82 @@
+"""Tests for repro.stats.correlation (cross-checked against scipy)."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.stats.correlation import pearson, rankdata, spearman
+
+
+class TestRankdata:
+    def test_no_ties(self):
+        assert rankdata([30.0, 10.0, 20.0]).tolist() == [3.0, 1.0, 2.0]
+
+    def test_ties_get_average_rank(self):
+        assert rankdata([1.0, 2.0, 2.0, 3.0]).tolist() == [1.0, 2.5, 2.5, 4.0]
+
+    def test_all_equal(self):
+        assert rankdata([5.0, 5.0, 5.0]).tolist() == [2.0, 2.0, 2.0]
+
+    def test_empty(self):
+        assert rankdata([]).size == 0
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 10, size=40).astype(float)  # plenty of ties
+        np.testing.assert_allclose(rankdata(data), scipy.stats.rankdata(data))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            rankdata(np.ones((2, 3)))
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(5)
+        x = rng.random(60)
+        y = 0.5 * x + rng.random(60)
+        assert pearson(x, y) == pytest.approx(scipy.stats.pearsonr(x, y).statistic)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            pearson([1], [2])
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        # Spearman sees through monotone transforms — the reason CPS
+        # prefers it over Pearson for discrete config parameters.
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert spearman(x, np.exp(x)) == pytest.approx(1.0)
+
+    def test_matches_scipy_with_ties(self):
+        rng = np.random.default_rng(8)
+        x = rng.integers(0, 5, size=50).astype(float)
+        y = x * 2 + rng.integers(0, 3, size=50)
+        expected = scipy.stats.spearmanr(x, y).statistic
+        assert spearman(x, y) == pytest.approx(expected)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(11)
+        x = rng.random(500)
+        y = rng.random(500)
+        assert abs(spearman(x, y)) < 0.1
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(13)
+        x = rng.random(30)
+        y = rng.random(30)
+        assert spearman(x, y) == pytest.approx(spearman(y, x))

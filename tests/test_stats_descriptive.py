@@ -1,0 +1,91 @@
+"""Tests for repro.stats.descriptive."""
+
+import numpy as np
+import pytest
+
+from repro.stats.descriptive import (
+    coefficient_of_variation,
+    mean,
+    standard_deviation,
+    variance,
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert mean([7.5]) == pytest.approx(7.5)
+
+    def test_accepts_numpy(self):
+        assert mean(np.array([2.0, 4.0])) == pytest.approx(3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            mean([1.0, float("nan")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            mean(np.ones((2, 2)))
+
+
+class TestVariance:
+    def test_population(self):
+        assert variance([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_sample(self):
+        assert variance([1.0, 3.0], ddof=1) == pytest.approx(2.0)
+
+    def test_constant_is_zero(self):
+        assert variance([4.0] * 5) == pytest.approx(0.0)
+
+    def test_too_few_values_for_ddof(self):
+        with pytest.raises(ValueError):
+            variance([1.0], ddof=1)
+
+    def test_matches_numpy(self):
+        data = np.random.default_rng(0).random(50)
+        assert variance(data) == pytest.approx(float(np.var(data)))
+
+
+class TestStandardDeviation:
+    def test_is_sqrt_of_variance(self):
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert standard_deviation(data) == pytest.approx(2.0)
+
+    def test_sample_flavour(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert standard_deviation(data, ddof=1) == pytest.approx(float(np.std(data, ddof=1)))
+
+
+class TestCoefficientOfVariation:
+    def test_paper_equation_three(self):
+        # CV = population std / mean.
+        data = [10.0, 20.0, 30.0]
+        expected = float(np.std(data)) / 20.0
+        assert coefficient_of_variation(data) == pytest.approx(expected)
+
+    def test_constant_sequence_is_zero(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([-1.0, 1.0])
+
+    def test_scale_invariance(self):
+        # CV is invariant under positive scaling — the property QCSA
+        # relies on to compare queries of different absolute lengths.
+        data = [3.0, 7.0, 5.0, 9.0]
+        assert coefficient_of_variation(data) == pytest.approx(
+            coefficient_of_variation([x * 137.0 for x in data])
+        )
+
+    def test_more_dispersed_has_higher_cv(self):
+        tight = [10.0, 10.5, 9.5, 10.2]
+        wide = [10.0, 20.0, 2.0, 15.0]
+        assert coefficient_of_variation(wide) > coefficient_of_variation(tight)

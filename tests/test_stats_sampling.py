@@ -1,0 +1,47 @@
+"""Tests for repro.stats.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.stats.sampling import ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_is_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        gen = ensure_rng(np.int64(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        children = spawn(np.random.default_rng(1), 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_reproducible_from_parent_seed(self):
+        a = [c.random(3).tolist() for c in spawn(np.random.default_rng(9), 2)]
+        b = [c.random(3).tolist() for c in spawn(np.random.default_rng(9), 2)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn(np.random.default_rng(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(np.random.default_rng(0), -1)

@@ -1,0 +1,85 @@
+"""Tests for the event-log trace export."""
+
+import pytest
+
+from repro.sparksim.trace import (
+    application_events,
+    parse_event_log,
+    summarize_events,
+    to_event_log,
+)
+
+
+@pytest.fixture()
+def metrics(sim_x86_quiet, tpch):
+    return sim_x86_quiet.run(tpch, sim_x86_quiet.space.default(), 100.0)
+
+
+class TestEvents:
+    def test_event_order(self, metrics):
+        events = application_events(metrics)
+        assert events[0]["Event"] == "ApplicationStart"
+        assert events[-1]["Event"] == "ApplicationEnd"
+        kinds = [e["Event"] for e in events]
+        assert kinds.index("QueryStart") < kinds.index("QueryEnd")
+
+    def test_one_query_block_per_query(self, metrics):
+        events = application_events(metrics)
+        starts = [e for e in events if e["Event"] == "QueryStart"]
+        ends = [e for e in events if e["Event"] == "QueryEnd"]
+        assert len(starts) == len(ends) == 22
+
+    def test_stage_events_carry_metrics(self, metrics):
+        events = application_events(metrics)
+        stage = next(e for e in events if e["Event"] == "StageCompleted")
+        assert stage["Number of Tasks"] > 0
+        assert stage["Completion Time"] >= stage["Submission Time"]
+
+    def test_timestamps_monotone_per_query(self, metrics):
+        events = application_events(metrics, start_time_s=10.0)
+        last = None
+        for event in events:
+            ts = event.get("Timestamp")
+            if ts is None:
+                continue
+            if last is not None:
+                assert ts >= last
+            last = ts
+
+
+class TestRoundtrip:
+    def test_log_roundtrip(self, metrics):
+        text = to_event_log(metrics)
+        events = parse_event_log(text)
+        assert events == application_events(metrics)
+
+    def test_blank_lines_skipped(self, metrics):
+        text = to_event_log(metrics) + "\n\n"
+        assert parse_event_log(text)
+
+    def test_bad_json_reported_with_line(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_event_log('{"Event":"ApplicationStart"}\nnot-json')
+
+
+class TestSummary:
+    def test_summary_matches_metrics(self, metrics):
+        summary = summarize_events(application_events(metrics))
+        assert summary.application == "TPC-H"
+        assert summary.n_queries == 22
+        assert summary.duration_s == pytest.approx(metrics.duration_s, abs=0.01)
+        assert summary.gc_s == pytest.approx(metrics.gc_s, abs=0.01)
+        assert summary.shuffle_gb == pytest.approx(
+            sum(q.shuffle_bytes_gb for q in metrics.queries), rel=0.01
+        )
+        assert summary.failed_queries == len(metrics.failed_queries)
+
+    def test_summary_counts_stage_flags(self, sim_x86_quiet, tpch):
+        # A tiny-memory config should spill somewhere at a big datasize.
+        config = sim_x86_quiet.space.make(**{
+            "executor.memory": 4, "executor.cores": 16,
+            "memory.offHeap.enabled": False, "sql.shuffle.partitions": 100,
+        })
+        metrics = sim_x86_quiet.run(tpch, config, 500.0)
+        summary = summarize_events(application_events(metrics))
+        assert summary.spilled_stages > 0

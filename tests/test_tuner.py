@@ -1,0 +1,124 @@
+"""Tests for the BO loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuner import BOLoop, BOTrace
+
+
+def quadratic(point, datasize):
+    """Minimum 10*ds at point = 0.3 (per dimension)."""
+    return float(10.0 * (datasize / 100.0) * (1.0 + np.sum((point - 0.3) ** 2)))
+
+
+class TestBOTrace:
+    def test_best_restricted_by_datasize(self):
+        trace = BOTrace()
+        trace.points = [np.array([0.1]), np.array([0.2])]
+        trace.datasizes = [100.0, 200.0]
+        trace.durations = [5.0, 1.0]
+        point, duration = trace.best(100.0)
+        assert duration == 5.0
+        point, duration = trace.best()
+        assert duration == 1.0
+
+    def test_best_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            BOTrace().best()
+
+
+class TestBOLoop:
+    def test_converges_on_quadratic(self):
+        loop = BOLoop(dim=2, n_init=3, min_iterations=5, max_iterations=20, n_mcmc=0, rng=0)
+        trace = loop.minimize(quadratic, 100.0)
+        point, duration = trace.best(100.0)
+        assert duration < 12.0  # optimum is 10
+        assert np.all(np.abs(point - 0.3) < 0.35)
+
+    def test_respects_max_iterations(self):
+        loop = BOLoop(dim=2, n_init=3, min_iterations=8, max_iterations=8, n_mcmc=0,
+                      ei_threshold=0.0, rng=1)
+        trace = loop.minimize(quadratic, 100.0)
+        assert trace.n_evaluations == 8
+
+    def test_ei_stop_triggers_on_flat_objective(self):
+        def flat(point, ds):
+            return 100.0
+
+        loop = BOLoop(dim=1, n_init=3, min_iterations=4, max_iterations=30, n_mcmc=0, rng=2)
+        trace = loop.minimize(flat, 100.0)
+        assert trace.stopped_by_ei
+        assert trace.n_evaluations < 30
+
+    def test_warm_data_counts_for_surrogate_not_budget(self):
+        warm_points = np.random.default_rng(3).random((6, 2))
+        warm_durations = np.array([quadratic(p, 100.0) for p in warm_points])
+        loop = BOLoop(dim=2, n_init=3, min_iterations=3, max_iterations=5, n_mcmc=0,
+                      ei_threshold=0.0, rng=3)
+        trace = loop.minimize(
+            quadratic,
+            100.0,
+            warm_points=warm_points,
+            warm_datasizes=np.full(6, 100.0),
+            warm_durations=warm_durations,
+        )
+        assert trace.n_evaluations == 6 + 5
+
+    def test_warm_at_target_skips_lhs(self):
+        warm_points = np.random.default_rng(4).random((4, 2))
+        warm_durations = np.array([quadratic(p, 100.0) for p in warm_points])
+        calls = []
+
+        def counting(point, ds):
+            calls.append(point)
+            return quadratic(point, ds)
+
+        loop = BOLoop(dim=2, n_init=3, min_iterations=2, max_iterations=2, n_mcmc=0,
+                      ei_threshold=0.0, rng=4)
+        loop.minimize(
+            counting, 100.0,
+            warm_points=warm_points,
+            warm_datasizes=np.full(4, 100.0),
+            warm_durations=warm_durations,
+        )
+        assert len(calls) == 2  # no LHS re-seeding
+
+    def test_custom_bounds(self):
+        low = np.array([10.0, 10.0])
+        high = np.array([20.0, 20.0])
+
+        def shifted(point, ds):
+            return float(np.sum((point - 15.0) ** 2) + 1.0)
+
+        loop = BOLoop(dim=2, bounds=(low, high), n_init=3, min_iterations=5,
+                      max_iterations=15, n_mcmc=0, rng=5)
+        trace = loop.minimize(shifted, 100.0)
+        for point in trace.points:
+            assert np.all(point >= low) and np.all(point <= high)
+        _, best = trace.best(100.0)
+        assert best < 15.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            BOLoop(dim=2, bounds=(np.zeros(2), np.zeros(2)))
+
+    def test_small_budget_shrinks_initial_design(self):
+        loop = BOLoop(dim=2, n_init=3, min_iterations=1, max_iterations=1,
+                      ei_threshold=0.0, n_mcmc=0, rng=6)
+        trace = loop.minimize(quadratic, 100.0)
+        assert trace.n_evaluations == 1
+
+    def test_mixed_datasize_warm_data(self):
+        warm_points = np.random.default_rng(7).random((5, 2))
+        warm_ds = np.array([100.0, 100.0, 300.0, 300.0, 300.0])
+        warm_durations = np.array([quadratic(p, d) for p, d in zip(warm_points, warm_ds)])
+        loop = BOLoop(dim=2, n_init=3, min_iterations=3, max_iterations=6, n_mcmc=0,
+                      ei_threshold=0.0, rng=7)
+        trace = loop.minimize(
+            quadratic, 300.0,
+            warm_points=warm_points,
+            warm_datasizes=warm_ds,
+            warm_durations=warm_durations,
+        )
+        _, best = trace.best(300.0)
+        assert best < 45.0  # optimum at 300 GB is 30
