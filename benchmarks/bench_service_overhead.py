@@ -1,0 +1,60 @@
+"""Service overhead: what does tuning-as-a-service add per observation?
+
+The paper's cost story is that *sample collection dominates* — algorithm
+and plumbing time must stay negligible next to even one simulated run.
+This benchmark measures the service stack's per-observation cost in the
+steady state (deployed configuration reused, no tuning session): the
+full path of HTTP request -> scheduler job -> controller decision ->
+history-store append must stay far below the seconds a single Spark SQL
+query execution costs, so serving the tuner adds nothing material to the
+optimization overhead the paper reports.
+"""
+
+import tempfile
+import time
+
+from repro.service import TuningClient, TuningService
+
+TUNER = {"n_qcsa": 10, "n_iicp": 8, "max_iterations": 6, "min_iterations": 3, "n_mcmc": 0}
+STEADY_STATE_OBSERVATIONS = 40
+
+
+def observe_steady_state() -> dict:
+    with tempfile.TemporaryDirectory(prefix="locat-bench-") as store_dir:
+        service = TuningService(store_dir, port=0, n_workers=2).start()
+        try:
+            client = TuningClient(service.url)
+            client.register_app("bench", "join", seed=5, tuner=TUNER)
+            first = client.observe("bench", 100.0)  # pays the tuning session
+            assert first["decision"]["retuned"]
+
+            # Steady state over HTTP: decision + run-table append per call.
+            started = time.perf_counter()
+            for _ in range(STEADY_STATE_OBSERVATIONS):
+                job = client.observe("bench", 100.0)
+                assert not job["decision"]["retuned"]
+            http_s = (time.perf_counter() - started) / STEADY_STATE_OBSERVATIONS
+
+            # The same decisions in-process, bypassing HTTP and the scheduler.
+            registry = service.registry
+            started = time.perf_counter()
+            for _ in range(STEADY_STATE_OBSERVATIONS):
+                decision = registry.observe("bench", 100.0)
+                assert not decision.retuned
+            direct_s = (time.perf_counter() - started) / STEADY_STATE_OBSERVATIONS
+        finally:
+            service.close()
+    return {"http_ms": http_s * 1000.0, "direct_ms": direct_s * 1000.0}
+
+
+def test_service_overhead(run_once):
+    result = run_once(observe_steady_state)
+    print(
+        f"\nsteady-state observe: {result['http_ms']:.2f} ms over HTTP, "
+        f"{result['direct_ms']:.2f} ms in-process "
+        f"(transport+scheduler: {result['http_ms'] - result['direct_ms']:.2f} ms)"
+    )
+    # Serving must stay negligible next to sample collection: even a single
+    # simulated query run costs seconds of (simulated) cluster time.
+    assert result["http_ms"] < 250.0, f"service path too slow: {result['http_ms']:.1f} ms"
+    assert result["direct_ms"] < 100.0, f"decision path too slow: {result['direct_ms']:.1f} ms"

@@ -1,8 +1,10 @@
 """Setuptools shim.
 
-The execution environment has no ``wheel`` package, so PEP 660 editable
-installs fail; this shim lets ``pip install -e .`` fall back to the
-legacy ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+All metadata lives in pyproject.toml (PEP 621); setuptools >= 61 reads
+it from there.  The shim exists because some execution environments lack
+the ``wheel`` package, so PEP 660 editable installs (``pip install -e .``)
+cannot build an editable wheel; on those, ``python setup.py develop``
+installs the same editable package through the legacy path.
 """
 
 from setuptools import setup

@@ -6,7 +6,9 @@ Commands:
   configuration as spark-defaults.conf;
 * ``qcsa`` — standalone query-sensitivity analysis (Figure 8 style);
 * ``compare`` — LOCAT vs the four baselines on one benchmark;
-* ``simulate`` — run one configuration and print the metrics.
+* ``simulate`` — run one configuration and print the metrics;
+* ``serve`` — run the multi-tenant tuning service (HTTP JSON API) with
+  a persistent history store.
 """
 
 from __future__ import annotations
@@ -61,6 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--set", action="append", default=[], metavar="NAME=VALUE",
         help="override a parameter (repeatable), e.g. --set sql.shuffle.partitions=800",
+    )
+
+    serve = sub.add_parser("serve", help="run the multi-tenant tuning service")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (default: 8080)")
+    serve.add_argument(
+        "--store", default="./tuning-store",
+        help="history store directory (default: ./tuning-store); registered "
+        "applications found there are rehydrated on startup",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="tuning worker threads shared across applications (default: 4)",
     )
     return parser
 
@@ -172,6 +187,27 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service import TuningService
+
+    service = TuningService(
+        args.store, host=args.host, port=args.port, n_workers=args.workers
+    )
+    rehydrated = service.registry.app_ids()
+    print(f"tuning service listening on {service.url} (store: {args.store})")
+    if rehydrated:
+        print(f"rehydrated {len(rehydrated)} application(s): {', '.join(rehydrated)}")
+    print("endpoints: POST /apps, POST /apps/<id>/observe, GET /apps/<id>/config, "
+          "GET /apps/<id>/history, GET /jobs/<id>")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -179,6 +215,7 @@ def main(argv: list[str] | None = None) -> int:
         "qcsa": cmd_qcsa,
         "compare": cmd_compare,
         "simulate": cmd_simulate,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -183,11 +183,71 @@ class LOCAT:
         # the original parameters) now that the CPS selection is known.
         self._refit_cpe()
 
-    def _latent_dim_cap(self) -> int:
+    def _latent_dim_cap(self, n_selected: int | None = None) -> int:
         """CPE keeps about a third of the original parameters (Figure 10)."""
-        assert self.iicp_result is not None
-        n_selected = len(self.iicp_result.selected)
+        if n_selected is None:
+            assert self.iicp_result is not None
+            n_selected = len(self.iicp_result.selected)
         return min(15, max(5, n_selected // 2))
+
+    # ------------------------------------------------------------------
+    # Persistence hooks (used by the tuning service)
+    # ------------------------------------------------------------------
+    @property
+    def observation_history(self) -> list[tuple[Configuration, float, float]]:
+        """Every ``(config, datasize_gb, rqa_duration_s)`` observed so far.
+
+        The list is append-only across tuning sessions, so a caller can
+        persist just the tail it has not seen yet; feeding the full list
+        back into :meth:`restore` reproduces the tuner's knowledge.
+        """
+        return [(o.config, o.datasize_gb, o.rqa_duration_s) for o in self._observations]
+
+    def restore(
+        self,
+        qcsa_result: QCSAResult | None,
+        cps,
+        observations: list[tuple[Configuration, float, float]],
+    ) -> None:
+        """Warm-start from a persisted tuning history, skipping the bootstrap.
+
+        ``observations`` are ``(config, datasize_gb, rqa_duration_s)``
+        tuples as returned by :attr:`observation_history`; ``cps`` is the
+        persisted :class:`~repro.core.iicp.CPSResult`.  The CPE manifold
+        is not persisted — it is refit over the restored observations,
+        exactly as :meth:`tune` refits it every ``refit_interval``
+        iterations — so the only artifacts a store must keep are the QCSA
+        split, the CPS selection, and the run table.  After this call
+        :attr:`is_bootstrapped` is true and the next :meth:`tune` goes
+        straight to DAGP BO.
+        """
+        if self.is_bootstrapped:
+            raise RuntimeError("cannot restore into a bootstrapped LOCAT")
+        observations = list(observations)
+        if len(observations) < 3:
+            raise ValueError("restore needs at least three observations")
+        self.qcsa_result = qcsa_result
+        self._observations = [
+            _Observation(config=config, datasize_gb=float(ds), rqa_duration_s=float(dur))
+            for config, ds, dur in observations
+        ]
+        if self.use_iicp:
+            cpe = run_cpe(
+                self.objective.space,
+                [o.config for o in self._observations],
+                cps,
+                kernel=self.kernel,
+                explained_variance=self.explained_variance,
+                n_components=self._latent_dim_cap(len(cps.selected)),
+            )
+            self.iicp_result = IICPResult(
+                cps=cps,
+                cpe=cpe,
+                space=self.objective.space,
+                base_config=self._best_observation().config,
+            )
+        else:
+            self.iicp_result = _identity_iicp(self.objective.space, IICP())
 
     #: Parameters whose defaults assume a tiny cluster; their tuned values
     #: are always kept (the starred rows of Table 2 plus executor count).

@@ -86,6 +86,36 @@ class OnlineController:
             raise RuntimeError("no configuration deployed yet; call observe()")
         return self._state.config
 
+    @property
+    def tuned_datasizes(self) -> list[float]:
+        """Datasizes covered by tuning sessions so far (empty pre-deploy)."""
+        return list(self._state.tuned_datasizes) if self._state is not None else []
+
+    @property
+    def recent_ratios(self) -> list[float]:
+        """The drift window: measured/expected ratios of the latest runs."""
+        return list(self._state.recent_ratios) if self._state is not None else []
+
+    def restore_state(
+        self,
+        config: Configuration,
+        tuned_datasizes: list[float],
+        recent_ratios: list[float] | None = None,
+    ) -> None:
+        """Rehydrate the deployed state persisted by a previous process.
+
+        Together with :meth:`LOCAT.restore` this lets a restarted service
+        resume exactly where it stopped: the deployed configuration, the
+        datasizes it covers, and the partially filled drift window.
+        """
+        if not tuned_datasizes:
+            raise ValueError("restore_state needs at least one tuned datasize")
+        self._state = _DeployedState(
+            config=config,
+            tuned_datasizes=[float(d) for d in tuned_datasizes],
+            recent_ratios=[float(r) for r in (recent_ratios or [])],
+        )
+
     def _expected_duration(self, datasize_gb: float) -> float | None:
         """Expected RQA-scaled duration of the deployed config at a size.
 

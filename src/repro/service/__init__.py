@@ -1,0 +1,40 @@
+"""Tuning-as-a-service: run LOCAT as a long-lived, multi-tenant service.
+
+The paper's deployment story is an application that "runs repeatedly
+many times" in production.  This package provides the substrate that
+story needs and the in-process classes leave out:
+
+* :mod:`repro.service.store` — a persistent tuning-history store: one
+  append-only JSON-lines run table per application, plus the QCSA/CPS
+  artifacts needed to warm-start a restarted tuner without re-paying
+  the bootstrap;
+* :mod:`repro.service.registry` — the multi-tenant application
+  registry: one rehydratable :class:`~repro.core.online.OnlineController`
+  session per registered application;
+* :mod:`repro.service.scheduler` — a thread-pool job scheduler running
+  tuning sessions concurrently across tenants while serializing jobs
+  within each application;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  stdlib-only JSON-over-HTTP API and its thin Python client.
+
+Start a service with ``python -m repro serve --store ./tuning-store``;
+see ``examples/tuning_service.py`` for an end-to-end walkthrough.
+"""
+
+from repro.service.client import ServiceError, TuningClient
+from repro.service.registry import AppSession, TuningRegistry
+from repro.service.scheduler import Job, JobScheduler
+from repro.service.server import TuningService
+from repro.service.store import HistoryStore, ObservationRecord
+
+__all__ = [
+    "AppSession",
+    "HistoryStore",
+    "Job",
+    "JobScheduler",
+    "ObservationRecord",
+    "ServiceError",
+    "TuningClient",
+    "TuningRegistry",
+    "TuningService",
+]

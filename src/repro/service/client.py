@@ -1,0 +1,135 @@
+"""Thin Python client for the tuning service HTTP API.
+
+Stdlib-only (``urllib``), mirroring the server's routes one method each.
+Sync by default: :meth:`observe` blocks until the service has processed
+the run and returns the decision dict; pass ``wait=False`` to get a job
+id back immediately and poll with :meth:`job` / :meth:`wait_job`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the tuning service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class TuningClient:
+    """Talks to one :class:`~repro.service.server.TuningService`."""
+
+    def __init__(self, base_url: str, timeout: float = 630.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", exc.reason)
+            except (json.JSONDecodeError, AttributeError):
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from None
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def register_app(
+        self,
+        app_id: str,
+        benchmark: str,
+        cluster: str = "x86",
+        seed: int = 1,
+        tuner: dict | None = None,
+        controller: dict | None = None,
+    ) -> dict:
+        body = {
+            "app_id": app_id,
+            "benchmark": benchmark,
+            "cluster": cluster,
+            "seed": seed,
+        }
+        if tuner:
+            body["tuner"] = tuner
+        if controller:
+            body["controller"] = controller
+        return self._request("POST", "/apps", body)
+
+    def list_apps(self) -> list[dict]:
+        return self._request("GET", "/apps")["apps"]
+
+    def app(self, app_id: str) -> dict:
+        return self._request("GET", f"/apps/{app_id}")
+
+    def observe(
+        self,
+        app_id: str,
+        datasize_gb: float,
+        duration_s: float | None = None,
+        wait: bool = True,
+        timeout: float | None = None,
+    ) -> dict:
+        """Report one production run.
+
+        With ``wait=True`` (default) returns the finished job including
+        its ``decision``; with ``wait=False`` returns the queued job.
+        """
+        body: dict = {"datasize_gb": datasize_gb, "wait": wait}
+        if duration_s is not None:
+            body["duration_s"] = duration_s
+        if timeout is not None:
+            body["timeout"] = timeout
+        return self._request("POST", f"/apps/{app_id}/observe", body)
+
+    def config(self, app_id: str) -> dict:
+        return self._request("GET", f"/apps/{app_id}/config")
+
+    def history(self, app_id: str, source: str | None = None, limit: int | None = None) -> dict:
+        query = []
+        if source:
+            query.append(f"source={source}")
+        if limit is not None:
+            query.append(f"limit={limit}")
+        suffix = "?" + "&".join(query) if query else ""
+        return self._request("GET", f"/apps/{app_id}/history{suffix}")
+
+    def jobs(self, app_id: str | None = None) -> list[dict]:
+        suffix = f"?app={app_id}" if app_id else ""
+        return self._request("GET", f"/jobs{suffix}")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait_job(self, job_id: str, timeout: float = 600.0, poll_s: float = 0.1) -> dict:
+        """Poll a job until it finishes; raises on timeout or failure.
+
+        A failed job comes back from the server as HTTP 500, so failure
+        surfaces as :class:`ServiceError` from :meth:`job` itself.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["status"] == "done":
+                return payload
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {payload['status']} after {timeout}s")
+            time.sleep(poll_s)

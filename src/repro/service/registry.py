@@ -1,0 +1,269 @@
+"""Multi-tenant application registry.
+
+One :class:`AppSession` per registered application, each wrapping an
+:class:`~repro.core.online.OnlineController` (and therefore a
+:class:`~repro.core.locat.LOCAT`) plus the bookkeeping that keeps the
+:class:`~repro.service.store.HistoryStore` in sync: every observation
+LOCAT makes is appended to the app's run table, the QCSA/CPS artifacts
+are saved after the first bootstrap, and the deployed state is rewritten
+after every job.
+
+On construction the registry rehydrates every application found in the
+store: bootstrapped apps come back with :attr:`LOCAT.is_bootstrapped`
+already true (zero simulator runs), so a restarted service resumes
+tuning without re-paying the QCSA/IICP bootstrap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.locat import LOCAT
+from repro.core.online import OnlineController, OnlineDecision
+from repro.service.store import (
+    SOURCE_PRODUCTION,
+    SOURCE_TUNING,
+    HistoryStore,
+    ObservationRecord,
+)
+from repro.sparksim import SparkSQLSimulator, get_application, list_benchmarks
+from repro.sparksim.cluster import get_cluster
+from repro.sparksim.serialize import config_from_dict, config_to_dict
+
+#: LOCAT keyword arguments a tenant may override at registration time.
+TUNER_KEYS = frozenset(
+    {
+        "n_qcsa", "n_iicp", "scc_threshold", "kernel", "explained_variance",
+        "min_iterations", "max_iterations", "ei_threshold", "n_mcmc",
+        "refit_interval", "use_qcsa", "use_iicp", "use_dagp", "use_polish",
+    }
+)
+
+#: OnlineController keyword arguments a tenant may override.
+CONTROLLER_KEYS = frozenset({"datasize_margin", "drift_factor", "drift_patience"})
+
+#: Minimum persisted tuning observations for a meaningful warm start.
+MIN_RESTORE_OBSERVATIONS = 3
+
+
+@dataclass
+class AppSession:
+    """One tenant: a live controller plus its persistence bookkeeping."""
+
+    app_id: str
+    benchmark: str
+    cluster: str
+    controller: OnlineController
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    #: Prefix of ``locat.observation_history`` already in the store.
+    persisted_observations: int = 0
+    #: Whether this session was warm-started from the store.
+    restored: bool = False
+    n_observes: int = 0
+    n_retunes: int = 0
+
+    @property
+    def locat(self) -> LOCAT:
+        return self.controller.locat
+
+    def status(self) -> dict:
+        """JSON-safe snapshot served by ``GET /apps/<id>``."""
+        locat = self.locat
+        return {
+            "app_id": self.app_id,
+            "benchmark": self.benchmark,
+            "cluster": self.cluster,
+            "bootstrapped": locat.is_bootstrapped,
+            "deployed": self.controller.is_deployed,
+            "restored": self.restored,
+            "evaluations": locat.objective.n_evaluations,
+            "overhead_hours": locat.objective.overhead_hours,
+            "observations_persisted": self.persisted_observations,
+            "observes": self.n_observes,
+            "retunes": self.n_retunes,
+            "tuned_datasizes": self.controller.tuned_datasizes,
+        }
+
+
+class TuningRegistry:
+    """Registers, rehydrates, and drives the tenant sessions."""
+
+    def __init__(self, store: HistoryStore, rehydrate: bool = True):
+        self.store = store
+        self._sessions: dict[str, AppSession] = {}
+        self._lock = threading.Lock()
+        if rehydrate:
+            for app_id in self.store.list_apps():
+                self._sessions[app_id] = self._rehydrate(app_id)
+
+    # ------------------------------------------------------------------
+    # Registration and lookup
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        app_id: str,
+        benchmark: str,
+        cluster: str = "x86",
+        seed: int = 1,
+        tuner: dict | None = None,
+        controller: dict | None = None,
+    ) -> AppSession:
+        """Register a new application and persist its metadata."""
+        if benchmark not in list_benchmarks():
+            raise ValueError(
+                f"unknown benchmark {benchmark!r}; expected one of {list_benchmarks()}"
+            )
+        tuner = dict(tuner or {})
+        controller = dict(controller or {})
+        if not TUNER_KEYS.issuperset(tuner):
+            raise ValueError(f"unknown tuner settings: {sorted(set(tuner) - TUNER_KEYS)}")
+        if not CONTROLLER_KEYS.issuperset(controller):
+            raise ValueError(
+                f"unknown controller settings: {sorted(set(controller) - CONTROLLER_KEYS)}"
+            )
+        meta = {
+            "benchmark": benchmark,
+            "cluster": cluster,
+            "seed": int(seed),
+            "tuner": tuner,
+            "controller": controller,
+            "registered_at": time.time(),
+        }
+        with self._lock:
+            if app_id in self._sessions:
+                raise ValueError(f"application {app_id!r} is already registered")
+            self.store.register_app(app_id, meta)  # also validates app_id
+            session = self._build_session(app_id, meta)
+            self._sessions[app_id] = session
+        return session
+
+    def get(self, app_id: str) -> AppSession:
+        try:
+            return self._sessions[app_id]
+        except KeyError:
+            raise KeyError(f"unknown application {app_id!r}") from None
+
+    def app_ids(self) -> list[str]:
+        return sorted(self._sessions)
+
+    def __contains__(self, app_id: str) -> bool:
+        return app_id in self._sessions
+
+    # ------------------------------------------------------------------
+    # Session construction and rehydration
+    # ------------------------------------------------------------------
+    def _build_session(self, app_id: str, meta: dict) -> AppSession:
+        simulator = SparkSQLSimulator(get_cluster(meta["cluster"]))
+        app = get_application(meta["benchmark"])
+        locat = LOCAT(simulator, app, rng=int(meta.get("seed", 1)), **meta.get("tuner", {}))
+        online = OnlineController(locat, **meta.get("controller", {}))
+        return AppSession(
+            app_id=app_id,
+            benchmark=meta["benchmark"],
+            cluster=meta["cluster"],
+            controller=online,
+        )
+
+    def _rehydrate(self, app_id: str) -> AppSession:
+        """Rebuild one session from the store, warm-starting when possible."""
+        session = self._build_session(app_id, self.store.app_meta(app_id))
+        qcsa, cps = self.store.load_artifacts(app_id)
+        tuning_rows = self.store.observations(app_id, source=SOURCE_TUNING)
+        if cps is not None and len(tuning_rows) >= MIN_RESTORE_OBSERVATIONS:
+            session.locat.restore(
+                qcsa,
+                cps,
+                [
+                    (config_from_dict(r.config), r.datasize_gb, r.duration_s)
+                    for r in tuning_rows
+                ],
+            )
+            session.persisted_observations = len(tuning_rows)
+            session.restored = True
+        deployment = self.store.load_deployment(app_id)
+        if deployment is not None:
+            session.controller.restore_state(
+                config_from_dict(deployment["config"]),
+                deployment["tuned_datasizes"],
+                deployment.get("recent_ratios"),
+            )
+        return session
+
+    # ------------------------------------------------------------------
+    # The one write path: process a production observation
+    # ------------------------------------------------------------------
+    def observe(
+        self, app_id: str, datasize_gb: float, duration_s: float | None = None
+    ) -> OnlineDecision:
+        """Feed one production run through the app's controller.
+
+        Thread-safe per application; everything the decision changed —
+        new tuning observations, first-bootstrap artifacts, the deployed
+        state — is persisted before returning.
+        """
+        session = self.get(app_id)
+        with session.lock:
+            controller = session.controller
+            # The measured duration belongs to the configuration that was
+            # deployed when the run executed — capture it before observe()
+            # may retune and swap the deployment.
+            measured_config = controller.deployed_config if controller.is_deployed else None
+            decision = controller.observe(datasize_gb, duration_s)
+            self._persist(session, decision, duration_s, measured_config)
+        return decision
+
+    def _persist(
+        self,
+        session: AppSession,
+        decision: OnlineDecision,
+        duration_s: float | None,
+        measured_config,
+    ) -> None:
+        locat = session.locat
+        now = time.time()
+        history = locat.observation_history
+        records = [
+            ObservationRecord(
+                config=config_to_dict(config),
+                datasize_gb=ds,
+                duration_s=dur,
+                source=SOURCE_TUNING,
+                reduced=True,
+                timestamp=now,
+            )
+            for config, ds, dur in history[session.persisted_observations:]
+        ]
+        if duration_s is not None and measured_config is not None:
+            # No production row before the first deployment: a duration
+            # reported then was measured under an unknown configuration.
+            records.append(
+                ObservationRecord(
+                    config=config_to_dict(measured_config),
+                    datasize_gb=decision.datasize_gb,
+                    duration_s=float(duration_s),
+                    source=SOURCE_PRODUCTION,
+                    reduced=False,
+                    timestamp=now,
+                )
+            )
+        self.store.append_many(session.app_id, records)
+        session.persisted_observations = len(history)
+
+        if locat.is_bootstrapped and not self.store.has_artifacts(session.app_id):
+            assert locat.iicp_result is not None
+            self.store.save_artifacts(session.app_id, locat.qcsa_result, locat.iicp_result.cps)
+        if session.controller.is_deployed:
+            self.store.save_deployment(
+                session.app_id,
+                {
+                    "config": config_to_dict(session.controller.deployed_config),
+                    "tuned_datasizes": session.controller.tuned_datasizes,
+                    "recent_ratios": session.controller.recent_ratios,
+                    "updated_at": now,
+                },
+            )
+        session.n_observes += 1
+        if decision.retuned:
+            session.n_retunes += 1

@@ -1,0 +1,196 @@
+"""Thread-pool job scheduler with per-application serialization.
+
+Tuning jobs from different tenants run concurrently on a small worker
+pool; jobs for the same application run strictly in submission order
+(the drift window in :class:`~repro.core.online.OnlineController` is
+order-sensitive, and LOCAT sessions are not reentrant).  Each submitted
+job gets a trackable :class:`Job` with the usual lifecycle:
+
+    queued -> running -> done | failed
+
+``GET /jobs/<id>`` serves :meth:`Job.to_json`; a killed scheduler fails
+its queued jobs instead of leaving clients waiting forever.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import traceback
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One unit of work bound to an application."""
+
+    job_id: str
+    app_id: str
+    kind: str
+    fn: Callable[[], Any] | None  # cleared on completion to free the closure
+    status: str = STATUS_QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: Any = None
+    error: str | None = None
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (STATUS_DONE, STATUS_FAILED)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self.done_event.wait(timeout)
+
+    def to_json(self) -> dict:
+        """JSON-safe view (the result itself is attached by the server)."""
+        return {
+            "job_id": self.job_id,
+            "app_id": self.app_id,
+            "kind": self.kind,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+
+class JobScheduler:
+    """N worker threads over per-application FIFO queues.
+
+    The service is long-lived, so finished jobs are not kept forever:
+    only the most recent ``max_finished`` stay queryable, older ones are
+    evicted (``get`` then raises ``KeyError``, which the HTTP layer maps
+    to 404).
+    """
+
+    def __init__(self, n_workers: int = 4, max_finished: int = 1000):
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if max_finished < 1:
+            raise ValueError("max_finished must be at least 1")
+        self.max_finished = max_finished
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queues: dict[str, deque[Job]] = {}
+        self._busy: set[str] = set()
+        self._jobs: dict[str, Job] = {}
+        self._finished: deque[str] = deque()
+        self._counter = itertools.count(1)
+        self._shutdown = False
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"tuning-worker-{i}", daemon=True)
+            for i in range(n_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, app_id: str, fn: Callable[[], Any], kind: str = "job") -> Job:
+        """Queue ``fn`` behind any earlier jobs of the same application."""
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError("scheduler is shut down")
+            job = Job(job_id=f"job-{next(self._counter):06d}", app_id=app_id, kind=kind, fn=fn)
+            self._jobs[job.job_id] = job
+            self._queues.setdefault(app_id, deque()).append(job)
+            self._cond.notify_all()
+        return job
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+
+    def jobs(self, app_id: str | None = None) -> list[Job]:
+        """All tracked jobs in submission order, optionally per app."""
+        with self._lock:
+            out = list(self._jobs.values())
+        if app_id is not None:
+            out = [j for j in out if j.app_id == app_id]
+        return out
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until a job finishes; raises TimeoutError on timeout."""
+        job = self.get(job_id)
+        if not job.wait(timeout):
+            raise TimeoutError(f"job {job_id} still {job.status} after {timeout}s")
+        return job
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers; queued jobs fail, the running ones finish."""
+        with self._cond:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            for queue in self._queues.values():
+                for job in queue:
+                    job.status = STATUS_FAILED
+                    job.error = "scheduler shut down before the job ran"
+                    job.finished_at = time.time()
+                    self._finish_locked(job)
+                queue.clear()
+            self._cond.notify_all()
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _finish_locked(self, job: Job) -> None:
+        """Completion bookkeeping: free the closure, evict old jobs."""
+        job.fn = None
+        job.done_event.set()
+        self._finished.append(job.job_id)
+        while len(self._finished) > self.max_finished:
+            self._jobs.pop(self._finished.popleft(), None)
+
+    def _next_job_locked(self) -> Job | None:
+        for app_id, queue in self._queues.items():
+            if queue and app_id not in self._busy:
+                self._busy.add(app_id)
+                return queue.popleft()
+        return None
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                job = self._next_job_locked()
+                while job is None and not self._shutdown:
+                    self._cond.wait()
+                    job = self._next_job_locked()
+                if job is None:
+                    return  # shutting down
+                job.status = STATUS_RUNNING
+                job.started_at = time.time()
+                fn = job.fn
+            try:
+                assert fn is not None  # only cleared after completion
+                result = fn()
+                error = None
+            except Exception:
+                result = None
+                error = traceback.format_exc(limit=8)
+            with self._cond:
+                job.result = result
+                job.error = error
+                job.status = STATUS_FAILED if error else STATUS_DONE
+                job.finished_at = time.time()
+                self._busy.discard(job.app_id)
+                self._finish_locked(job)
+                self._cond.notify_all()

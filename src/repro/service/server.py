@@ -1,0 +1,307 @@
+"""The tuning service: a stdlib JSON-over-HTTP front end.
+
+Endpoints (all request/response bodies are JSON):
+
+    GET  /healthz                 liveness probe
+    GET  /apps                    list registered applications
+    POST /apps                    register: {"app_id", "benchmark",
+                                  "cluster"?, "seed"?, "tuner"?,
+                                  "controller"?}
+    GET  /apps/<id>               session status
+    POST /apps/<id>/observe       {"datasize_gb", "duration_s"?,
+                                  "wait"?}; wait=false returns 202 with
+                                  a job id, wait=true (default) blocks
+                                  and returns the decision
+    GET  /apps/<id>/config        the deployed configuration (raw
+                                  values, spark properties, and a
+                                  rendered spark-defaults.conf)
+    GET  /apps/<id>/history       the run table (?source=, ?limit=)
+    GET  /jobs                    all jobs (?app=)
+    GET  /jobs/<id>               one job, with the decision once done
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per
+request, so a blocking ``observe`` does not starve status queries, while
+the :class:`~repro.service.scheduler.JobScheduler` keeps actual tuning
+work on its bounded worker pool with per-app ordering.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.export import to_spark_defaults_conf, to_spark_properties
+from repro.core.online import OnlineDecision
+from repro.service.registry import TuningRegistry
+from repro.service.scheduler import JobScheduler
+from repro.service.store import HistoryStore
+from repro.sparksim.serialize import config_to_dict
+
+#: Cap on how long a ``wait=true`` observe may block the HTTP thread.
+MAX_WAIT_S = 600.0
+
+
+def decision_to_json(decision: OnlineDecision) -> dict:
+    """JSON-safe view of one controller decision."""
+    duration = decision.duration_s
+    payload = {
+        "datasize_gb": decision.datasize_gb,
+        "duration_s": None if math.isnan(duration) else duration,
+        "retuned": decision.retuned,
+        "reason": decision.reason,
+        "config": config_to_dict(decision.config),
+    }
+    if decision.result is not None:
+        result = decision.result
+        payload["tuning"] = {
+            "best_duration_s": result.best_duration_s,
+            "overhead_hours": result.overhead_hours,
+            "evaluations": result.evaluations,
+        }
+    return payload
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class TuningService:
+    """Store + registry + scheduler behind one HTTP server."""
+
+    def __init__(
+        self,
+        store_dir: str,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        n_workers: int = 4,
+        rehydrate: bool = True,
+    ):
+        self.store = HistoryStore(store_dir)
+        self.registry = TuningRegistry(self.store, rehydrate=rehydrate)
+        self.scheduler = JobScheduler(n_workers=n_workers)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block serving requests (the ``repro serve`` foreground path)."""
+        self._httpd.serve_forever()
+
+    def start(self) -> "TuningService":
+        """Serve on a background thread (tests, examples, benchmarks)."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="tuning-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting requests and stop the workers. Idempotent."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self.scheduler.shutdown(wait=True)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TuningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ThreadingHTTPServer  # with .service attached
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> TuningService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test/CLI output clean; the CLI prints its own banner
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise _HTTPError(400, f"bad JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        path, _, query_string = self.path.partition("?")
+        query = {}
+        for part in query_string.split("&"):
+            if "=" in part:
+                key, _, value = part.partition("=")
+                query[key] = value
+        try:
+            self._route(method, path.rstrip("/") or "/", query)
+        except _HTTPError as exc:
+            self._send_json({"error": exc.message}, status=exc.status)
+        except (KeyError, ValueError) as exc:
+            status = 404 if isinstance(exc, KeyError) else 400
+            self._send_json({"error": str(exc)}, status=status)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json({"error": f"internal error: {exc}"}, status=500)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _route(self, method: str, path: str, query: dict[str, str]) -> None:
+        service = self.service
+        if method == "GET" and path == "/healthz":
+            self._send_json({"status": "ok", "apps": len(service.registry.app_ids())})
+            return
+        if path == "/apps":
+            if method == "POST":
+                self._register(self._read_body())
+            else:
+                self._send_json(
+                    {"apps": [service.registry.get(a).status() for a in service.registry.app_ids()]}
+                )
+            return
+        if method == "GET" and path == "/jobs":
+            app_id = query.get("app")
+            self._send_json({"jobs": [j.to_json() for j in service.scheduler.jobs(app_id)]})
+            return
+        match = re.fullmatch(r"/jobs/([^/]+)", path)
+        if match and method == "GET":
+            self._job(match.group(1))
+            return
+        match = re.fullmatch(r"/apps/([^/]+)(/observe|/config|/history)?", path)
+        if match:
+            app_id, action = match.group(1), match.group(2)
+            if action == "/observe" and method == "POST":
+                self._observe(app_id, self._read_body())
+            elif action == "/config" and method == "GET":
+                self._config(app_id)
+            elif action == "/history" and method == "GET":
+                self._history(app_id, query)
+            elif action is None and method == "GET":
+                self._send_json(service.registry.get(app_id).status())
+            else:
+                raise _HTTPError(405, f"{method} not allowed on {path}")
+            return
+        raise _HTTPError(404, f"no route for {method} {path}")
+
+    def _register(self, body: dict) -> None:
+        for key in ("app_id", "benchmark"):
+            if key not in body:
+                raise _HTTPError(400, f"missing required field {key!r}")
+        registry = self.service.registry
+        try:
+            session = registry.register(
+                body["app_id"],
+                benchmark=body["benchmark"],
+                cluster=body.get("cluster", "x86"),
+                seed=body.get("seed", 1),
+                tuner=body.get("tuner"),
+                controller=body.get("controller"),
+            )
+        except ValueError as exc:
+            status = 409 if "already registered" in str(exc) else 400
+            raise _HTTPError(status, str(exc)) from None
+        self._send_json(session.status(), status=201)
+
+    def _observe(self, app_id: str, body: dict) -> None:
+        registry = self.service.registry
+        registry.get(app_id)  # 404 before queueing anything
+        if "datasize_gb" not in body:
+            raise _HTTPError(400, "missing required field 'datasize_gb'")
+        datasize_gb = float(body["datasize_gb"])
+        duration_s = body.get("duration_s")
+        duration_s = None if duration_s is None else float(duration_s)
+        job = self.service.scheduler.submit(
+            app_id,
+            lambda: registry.observe(app_id, datasize_gb, duration_s),
+            kind="observe",
+        )
+        if not body.get("wait", True):
+            self._send_json({**job.to_json()}, status=202)
+            return
+        timeout = min(float(body.get("timeout", MAX_WAIT_S)), MAX_WAIT_S)
+        try:
+            self.service.scheduler.wait(job.job_id, timeout)
+        except TimeoutError as exc:
+            raise _HTTPError(504, str(exc)) from None
+        self._job(job.job_id)
+
+    def _job(self, job_id: str) -> None:
+        job = self.service.scheduler.get(job_id)
+        payload = job.to_json()
+        if job.status == "done" and isinstance(job.result, OnlineDecision):
+            payload["decision"] = decision_to_json(job.result)
+        self._send_json(payload, status=500 if job.status == "failed" else 200)
+
+    def _config(self, app_id: str) -> None:
+        session = self.service.registry.get(app_id)
+        if not session.controller.is_deployed:
+            raise _HTTPError(404, f"{app_id!r} has no deployed configuration yet")
+        config = session.controller.deployed_config
+        self._send_json(
+            {
+                "app_id": app_id,
+                "parameters": config_to_dict(config),
+                "spark_properties": to_spark_properties(config),
+                "spark_defaults_conf": to_spark_defaults_conf(
+                    config, header=f"deployed by the LOCAT tuning service for {app_id}"
+                ),
+            }
+        )
+
+    def _history(self, app_id: str, query: dict[str, str]) -> None:
+        self.service.registry.get(app_id)  # 404 for unknown apps
+        source = query.get("source") or None
+        records = self.service.store.observations(app_id, source=source)
+        limit = int(query["limit"]) if "limit" in query else None
+        if limit is not None:
+            records = records[-limit:]
+        self._send_json(
+            {"app_id": app_id, "count": len(records), "observations": [r.to_json() for r in records]}
+        )

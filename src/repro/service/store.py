@@ -1,0 +1,250 @@
+"""Persistent tuning-history store.
+
+One directory per registered application:
+
+    <root>/<app_id>/app.json        registration metadata (benchmark,
+                                    cluster, tuner/controller settings)
+    <root>/<app_id>/runs.jsonl      append-only run table: one JSON line
+                                    per (config, datasize, duration,
+                                    source) observation
+    <root>/<app_id>/artifacts.json  bootstrap artifacts: the QCSA query
+                                    split and the CPS parameter selection
+    <root>/<app_id>/deployed.json   the controller's deployed state
+                                    (config, tuned datasizes, drift
+                                    window), rewritten after every job
+
+The run table is the durable substrate everything else rebuilds from —
+the CPE/KPCA manifold and the DAGP are deliberately *not* persisted,
+because LOCAT refits both from observations anyway (see
+:meth:`repro.core.locat.LOCAT.restore`).  Appends are flushed per line,
+so a killed service loses at most the observation being written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.iicp import CPSResult
+from repro.core.qcsa import QCSAResult
+
+#: Sources a run-table record can come from.
+SOURCE_TUNING = "tuning"        # an RQA/bootstrap sample collected by LOCAT
+SOURCE_PRODUCTION = "production"  # a measured production run of the deployed config
+SOURCES = (SOURCE_TUNING, SOURCE_PRODUCTION)
+
+_APP_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}")
+
+
+def validate_app_id(app_id: str) -> str:
+    """App ids become directory names; keep them filesystem-safe."""
+    if not isinstance(app_id, str) or not _APP_ID_RE.fullmatch(app_id):
+        raise ValueError(
+            f"bad application id {app_id!r}: use 1-64 letters, digits, '.', '_', '-'"
+        )
+    return app_id
+
+
+@dataclass(frozen=True)
+class ObservationRecord:
+    """One row of an application's run table."""
+
+    config: dict                 # raw parameter values (config_to_dict)
+    datasize_gb: float
+    duration_s: float            # RQA duration for tuning rows, full-app for production
+    source: str                  # SOURCE_TUNING or SOURCE_PRODUCTION
+    reduced: bool = True         # True when only the RQA was executed
+    timestamp: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.source not in SOURCES:
+            raise ValueError(f"bad source {self.source!r}; expected one of {SOURCES}")
+
+    def to_json(self) -> dict:
+        return {
+            "config": self.config,
+            "datasize_gb": self.datasize_gb,
+            "duration_s": self.duration_s,
+            "source": self.source,
+            "reduced": self.reduced,
+            "timestamp": self.timestamp,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ObservationRecord":
+        return cls(
+            config=dict(data["config"]),
+            datasize_gb=float(data["datasize_gb"]),
+            duration_s=float(data["duration_s"]),
+            source=data["source"],
+            reduced=bool(data.get("reduced", True)),
+            timestamp=float(data.get("timestamp", 0.0)),
+        )
+
+
+def _qcsa_to_json(result: QCSAResult) -> dict:
+    return {
+        "cvs": dict(result.cvs),
+        "csq": list(result.csq),
+        "ciq": list(result.ciq),
+        "threshold": result.threshold,
+        "n_samples": result.n_samples,
+    }
+
+
+def _qcsa_from_json(data: dict) -> QCSAResult:
+    return QCSAResult(
+        cvs={k: float(v) for k, v in data["cvs"].items()},
+        csq=tuple(data["csq"]),
+        ciq=tuple(data["ciq"]),
+        threshold=float(data["threshold"]),
+        n_samples=int(data["n_samples"]),
+    )
+
+
+def _cps_to_json(result: CPSResult) -> dict:
+    return {
+        "scc": dict(result.scc),
+        "selected": list(result.selected),
+        "threshold": result.threshold,
+    }
+
+
+def _cps_from_json(data: dict) -> CPSResult:
+    return CPSResult(
+        scc={k: float(v) for k, v in data["scc"].items()},
+        selected=tuple(data["selected"]),
+        threshold=float(data["threshold"]),
+    )
+
+
+class HistoryStore:
+    """Durable, append-only tuning history for many applications.
+
+    All methods are thread-safe; per-application write ordering is the
+    caller's job (the scheduler serializes jobs within an application).
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def app_dir(self, app_id: str) -> Path:
+        return self.root / validate_app_id(app_id)
+
+    def list_apps(self) -> list[str]:
+        """Registered application ids, sorted."""
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_dir() and (p / "app.json").exists()
+        )
+
+    def has_app(self, app_id: str) -> bool:
+        return (self.app_dir(app_id) / "app.json").exists()
+
+    def register_app(self, app_id: str, meta: dict) -> None:
+        """Persist registration metadata; refuses to overwrite."""
+        directory = self.app_dir(app_id)
+        with self._lock:
+            if (directory / "app.json").exists():
+                raise ValueError(f"application {app_id!r} is already registered")
+            directory.mkdir(parents=True, exist_ok=True)
+            self._write_json(directory / "app.json", {"app_id": app_id, **meta})
+
+    def app_meta(self, app_id: str) -> dict:
+        path = self.app_dir(app_id) / "app.json"
+        if not path.exists():
+            raise KeyError(f"unknown application {app_id!r}")
+        return json.loads(path.read_text())
+
+    # ------------------------------------------------------------------
+    # Run table
+    # ------------------------------------------------------------------
+    def append(self, app_id: str, record: ObservationRecord) -> None:
+        self.append_many(app_id, [record])
+
+    def append_many(self, app_id: str, records: list[ObservationRecord]) -> None:
+        """Append records to the run table, one flushed JSON line each."""
+        if not records:
+            return
+        path = self.app_dir(app_id) / "runs.jsonl"
+        with self._lock:
+            with open(path, "a") as handle:
+                for record in records:
+                    handle.write(json.dumps(record.to_json()) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def observations(self, app_id: str, source: str | None = None) -> list[ObservationRecord]:
+        """The run table in append order, optionally filtered by source.
+
+        A torn trailing line (service killed mid-append) is dropped
+        rather than poisoning the replay.
+        """
+        path = self.app_dir(app_id) / "runs.jsonl"
+        if not path.exists():
+            return []
+        records: list[ObservationRecord] = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(ObservationRecord.from_json(json.loads(line)))
+                except (json.JSONDecodeError, KeyError, ValueError):
+                    break
+        if source is not None:
+            records = [r for r in records if r.source == source]
+        return records
+
+    # ------------------------------------------------------------------
+    # Bootstrap artifacts and deployed state
+    # ------------------------------------------------------------------
+    def has_artifacts(self, app_id: str) -> bool:
+        return (self.app_dir(app_id) / "artifacts.json").exists()
+
+    def save_artifacts(self, app_id: str, qcsa: QCSAResult | None, cps: CPSResult) -> None:
+        payload = {
+            "qcsa": _qcsa_to_json(qcsa) if qcsa is not None else None,
+            "cps": _cps_to_json(cps),
+            "saved_at": time.time(),
+        }
+        with self._lock:
+            self._write_json(self.app_dir(app_id) / "artifacts.json", payload)
+
+    def load_artifacts(self, app_id: str) -> tuple[QCSAResult | None, CPSResult | None]:
+        path = self.app_dir(app_id) / "artifacts.json"
+        if not path.exists():
+            return None, None
+        data = json.loads(path.read_text())
+        qcsa = _qcsa_from_json(data["qcsa"]) if data.get("qcsa") else None
+        cps = _cps_from_json(data["cps"]) if data.get("cps") else None
+        return qcsa, cps
+
+    def save_deployment(self, app_id: str, state: dict) -> None:
+        with self._lock:
+            self._write_json(self.app_dir(app_id) / "deployed.json", state)
+
+    def load_deployment(self, app_id: str) -> dict | None:
+        path = self.app_dir(app_id) / "deployed.json"
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _write_json(path: Path, payload: dict) -> None:
+        """Atomic-ish write: temp file in the same directory, then rename."""
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)

@@ -22,6 +22,12 @@ from repro.sparksim.configspace import (
 from repro.sparksim.engine import SparkSQLSimulator
 from repro.sparksim.metrics import ApplicationMetrics, QueryMetrics, StageMetrics
 from repro.sparksim.query import Application, Query, Stage, StageKind
+from repro.sparksim.serialize import (
+    config_from_dict,
+    config_to_dict,
+    metrics_from_dict,
+    metrics_to_dict,
+)
 from repro.sparksim.workloads import get_application, list_benchmarks
 
 __all__ = [
@@ -40,7 +46,11 @@ __all__ = [
     "StageKind",
     "StageMetrics",
     "arm_cluster",
+    "config_from_dict",
+    "config_to_dict",
     "get_application",
     "list_benchmarks",
+    "metrics_from_dict",
+    "metrics_to_dict",
     "x86_cluster",
 ]

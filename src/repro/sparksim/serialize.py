@@ -1,0 +1,117 @@
+"""JSON-safe codecs for simulator objects.
+
+The tuning service persists every observation a tuner makes and ships
+configurations and metrics over HTTP; both need a faithful, dependency-
+free dict representation.  Round trips are exact: a decoded
+:class:`Configuration` compares equal to the original, and a decoded
+:class:`ApplicationMetrics` carries the same per-query and per-stage
+numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.sparksim.configspace import Configuration, ParamValue
+from repro.sparksim.metrics import ApplicationMetrics, QueryMetrics, StageMetrics
+
+
+def config_to_dict(config: Configuration) -> dict[str, ParamValue]:
+    """Configuration -> plain dict of raw parameter values (JSON-safe)."""
+    return config.as_dict()
+
+
+def config_from_dict(values: Mapping[str, ParamValue]) -> Configuration:
+    """Exact inverse of :func:`config_to_dict`.
+
+    Unknown or missing parameters raise ``ValueError`` (via the
+    :class:`Configuration` constructor) — a store written against a
+    different parameter table should fail loudly, not silently fill
+    defaults.
+    """
+    return Configuration(dict(values))
+
+
+def metrics_to_dict(metrics: ApplicationMetrics) -> dict:
+    """ApplicationMetrics -> nested plain dicts (JSON-safe)."""
+    return {
+        "application": metrics.application,
+        "datasize_gb": metrics.datasize_gb,
+        "duration_s": metrics.duration_s,
+        "gc_s": metrics.gc_s,
+        "queries": [
+            {
+                "name": q.name,
+                "duration_s": q.duration_s,
+                "gc_s": q.gc_s,
+                "shuffle_bytes_gb": q.shuffle_bytes_gb,
+                "failed": q.failed,
+                "retries": q.retries,
+                "stages": [
+                    {
+                        "kind": s.kind,
+                        "duration_s": s.duration_s,
+                        "compute_s": s.compute_s,
+                        "io_s": s.io_s,
+                        "shuffle_s": s.shuffle_s,
+                        "gc_s": s.gc_s,
+                        "overhead_s": s.overhead_s,
+                        "waves": s.waves,
+                        "partitions": s.partitions,
+                        "shuffle_bytes_gb": s.shuffle_bytes_gb,
+                        "spilled": s.spilled,
+                        "broadcast": s.broadcast,
+                    }
+                    for s in q.stages
+                ],
+            }
+            for q in metrics.queries
+        ],
+    }
+
+
+def metrics_from_dict(data: Mapping) -> ApplicationMetrics:
+    """Exact inverse of :func:`metrics_to_dict`."""
+    queries = tuple(
+        QueryMetrics(
+            name=q["name"],
+            duration_s=float(q["duration_s"]),
+            gc_s=float(q["gc_s"]),
+            shuffle_bytes_gb=float(q["shuffle_bytes_gb"]),
+            failed=bool(q.get("failed", False)),
+            retries=int(q.get("retries", 0)),
+            stages=tuple(
+                StageMetrics(
+                    kind=s["kind"],
+                    duration_s=float(s["duration_s"]),
+                    compute_s=float(s["compute_s"]),
+                    io_s=float(s["io_s"]),
+                    shuffle_s=float(s["shuffle_s"]),
+                    gc_s=float(s["gc_s"]),
+                    overhead_s=float(s["overhead_s"]),
+                    waves=int(s["waves"]),
+                    partitions=int(s["partitions"]),
+                    shuffle_bytes_gb=float(s["shuffle_bytes_gb"]),
+                    spilled=bool(s["spilled"]),
+                    broadcast=bool(s["broadcast"]),
+                )
+                for s in q.get("stages", ())
+            ),
+        )
+        for q in data["queries"]
+    )
+    return ApplicationMetrics(
+        application=data["application"],
+        datasize_gb=float(data["datasize_gb"]),
+        duration_s=float(data["duration_s"]),
+        gc_s=float(data["gc_s"]),
+        queries=queries,
+    )
+
+
+__all__ = [
+    "config_from_dict",
+    "config_to_dict",
+    "metrics_from_dict",
+    "metrics_to_dict",
+]

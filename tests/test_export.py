@@ -8,6 +8,24 @@ from repro.core.export import (
     to_spark_properties,
     to_spark_submit_args,
 )
+from repro.sparksim import PARAMETERS, Configuration
+
+#: Spark notation suffix for each Table-2 unit.
+SUFFIXES = {"MB": "m", "KB": "k", "GB": "g"}
+
+#: Dimensionless-duration parameters rendered with an ``s`` suffix.
+SECONDS = {"locality.wait", "scheduler.revive.interval"}
+
+
+def parse_defaults_conf(conf: str) -> dict[str, str]:
+    """spark-defaults.conf text -> {key: rendered value}."""
+    parsed = {}
+    for line in conf.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, value = line.split(None, 1)
+        parsed[key] = value.strip()
+    return parsed
 
 
 class TestProperties:
@@ -63,6 +81,56 @@ class TestRendering:
         assert len(args) == 2 * 38
         assert args[0] == "--conf"
         assert "=" in args[1]
+
+
+class TestRoundTrip:
+    """Every parameter must survive a trip through spark-defaults.conf."""
+
+    def test_every_parameter_renders_with_correct_suffix_and_casing(self, space_x86, rng):
+        config = space_x86.sample(rng)  # a "tuned" configuration
+        parsed = parse_defaults_conf(to_spark_defaults_conf(config, header="round trip"))
+        assert len(parsed) == len(PARAMETERS) == 38
+        for param in PARAMETERS:
+            rendered = parsed[f"spark.{param.name}"]
+            value = config[param.name]
+            if param.kind == "bool":
+                assert rendered == ("true" if value else "false"), param.name
+            elif param.name in SECONDS:
+                assert rendered == f"{int(value)}s", param.name
+            elif param.kind == "float":
+                assert rendered[-1].isdigit(), param.name  # floats are dimensionless
+                assert float(rendered) == pytest.approx(float(value)), param.name
+            else:
+                suffix = SUFFIXES.get(param.unit, "")
+                assert rendered == f"{int(value)}{suffix}", param.name
+
+    def test_parsed_values_rebuild_the_configuration(self, space_x86, rng):
+        config = space_x86.sample(rng)
+        parsed = parse_defaults_conf(to_spark_defaults_conf(config))
+        rebuilt = {}
+        for param in PARAMETERS:
+            raw = parsed[f"spark.{param.name}"]
+            if param.kind == "bool":
+                assert raw in ("true", "false"), param.name
+                rebuilt[param.name] = raw == "true"
+            elif param.kind == "float":
+                rebuilt[param.name] = float(raw)
+            else:
+                rebuilt[param.name] = int(raw.rstrip("smkg"))
+        restored = Configuration(rebuilt)
+        for param in PARAMETERS:
+            if param.kind == "float":
+                # %g keeps 6 significant digits — plenty for Spark, not bitwise.
+                assert restored[param.name] == pytest.approx(config[param.name], rel=1e-5)
+            else:
+                assert restored[param.name] == config[param.name], param.name
+
+    def test_defaults_round_trip_too(self, space_x86):
+        config = space_x86.default()
+        parsed = parse_defaults_conf(to_spark_defaults_conf(config))
+        for param in PARAMETERS:
+            if param.kind == "bool":
+                assert parsed[f"spark.{param.name}"] == ("true" if config[param.name] else "false")
 
 
 class TestDiff:

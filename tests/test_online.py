@@ -73,6 +73,84 @@ class TestDriftDetection:
             assert not decision.retuned
 
 
+class TestDriftReason:
+    def test_drift_reason_names_patience_and_factor(self, controller):
+        """Durations drifting above the DAGP expectation retune with the
+        exact reason string the service exposes over the API."""
+        first = controller.observe(100.0)
+        baseline = first.result.best_duration_s
+        decision = controller.observe(100.0, duration_s=baseline * 2.0)
+        assert not decision.retuned  # one slow run is inside the patience window
+        decision = controller.observe(100.0, duration_s=baseline * 2.0)
+        assert decision.retuned
+        assert decision.reason == "2 consecutive runs over 1.3x the expected duration"
+
+    def test_drift_window_clears_after_retune(self, controller):
+        first = controller.observe(100.0)
+        baseline = first.result.best_duration_s
+        controller.observe(100.0, duration_s=baseline * 3.0)
+        retuned = controller.observe(100.0, duration_s=baseline * 3.0)
+        assert retuned.retuned
+        assert controller.recent_ratios == []
+        # The next slow run starts a fresh window instead of re-triggering.
+        decision = controller.observe(100.0, duration_s=baseline * 3.0)
+        assert not decision.retuned
+
+    def test_fast_run_interrupts_the_streak(self, controller):
+        first = controller.observe(100.0)
+        baseline = first.result.best_duration_s
+        controller.observe(100.0, duration_s=baseline * 3.0)
+        controller.observe(100.0, duration_s=baseline)  # recovery run
+        decision = controller.observe(100.0, duration_s=baseline * 3.0)
+        assert not decision.retuned  # the streak was broken
+
+
+class TestStateRestore:
+    def test_restore_state_round_trip(self, controller):
+        first = controller.observe(100.0)
+        fresh = OnlineController(
+            controller.locat, datasize_margin=0.3, drift_factor=1.3, drift_patience=2
+        )
+        assert not fresh.is_deployed
+        fresh.restore_state(
+            controller.deployed_config,
+            controller.tuned_datasizes,
+            controller.recent_ratios,
+        )
+        assert fresh.is_deployed
+        assert fresh.deployed_config == first.config
+        assert fresh.tuned_datasizes == [100.0]
+        decision = fresh.observe(105.0)
+        assert not decision.retuned  # nearby datasize reuses, as before the restart
+
+    def test_restored_drift_window_completes_the_pattern(self, controller):
+        first = controller.observe(100.0)
+        baseline = first.result.best_duration_s
+        controller.observe(100.0, duration_s=baseline * 3.0)  # half the window
+        fresh = OnlineController(
+            controller.locat, datasize_margin=0.3, drift_factor=1.3, drift_patience=2
+        )
+        fresh.restore_state(
+            controller.deployed_config,
+            controller.tuned_datasizes,
+            controller.recent_ratios,
+        )
+        decision = fresh.observe(100.0, duration_s=baseline * 3.0)
+        assert decision.retuned
+        assert "consecutive" in decision.reason
+
+    def test_restore_state_requires_a_datasize(self, controller):
+        controller.observe(100.0)
+        with pytest.raises(ValueError):
+            controller.restore_state(controller.deployed_config, [])
+
+    def test_empty_properties_before_deploy(self, x86, join_app):
+        locat = LOCAT(SparkSQLSimulator(x86), join_app, rng=0)
+        fresh = OnlineController(locat)
+        assert fresh.tuned_datasizes == []
+        assert fresh.recent_ratios == []
+
+
 class TestValidation:
     def test_constructor_guards(self, x86, join_app):
         locat = LOCAT(SparkSQLSimulator(x86), join_app, rng=0)

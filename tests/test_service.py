@@ -1,0 +1,401 @@
+"""Tests for the tuning service: store, scheduler, registry, HTTP API."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.iicp import CPSResult
+from repro.core.qcsa import QCSAResult
+from repro.service import (
+    HistoryStore,
+    JobScheduler,
+    ObservationRecord,
+    ServiceError,
+    TuningClient,
+    TuningRegistry,
+    TuningService,
+)
+from repro.service.store import SOURCE_PRODUCTION, SOURCE_TUNING
+from repro.sparksim.serialize import (
+    config_from_dict,
+    config_to_dict,
+    metrics_from_dict,
+    metrics_to_dict,
+)
+
+#: Small LOCAT settings so tuning sessions stay cheap in tests.
+TINY_TUNER = {"n_qcsa": 10, "n_iicp": 8, "max_iterations": 6, "min_iterations": 3, "n_mcmc": 0}
+
+
+class TestSerialization:
+    def test_config_round_trip(self, space_x86, rng):
+        config = space_x86.sample(rng)
+        data = config_to_dict(config)
+        assert config_from_dict(data) == config
+
+    def test_config_rejects_unknown_parameter(self, space_x86):
+        data = config_to_dict(space_x86.default())
+        data["not.a.param"] = 1
+        with pytest.raises(ValueError):
+            config_from_dict(data)
+
+    def test_config_rejects_missing_parameter(self, space_x86):
+        data = config_to_dict(space_x86.default())
+        del data["executor.memory"]
+        with pytest.raises(ValueError):
+            config_from_dict(data)
+
+    def test_metrics_round_trip(self, sim_x86, scan_app):
+        metrics = sim_x86.run(scan_app, sim_x86.space.default(), 100.0, rng=3)
+        rebuilt = metrics_from_dict(metrics_to_dict(metrics))
+        assert rebuilt == metrics
+
+
+class TestHistoryStore:
+    def test_register_and_meta(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.register_app("app-1", {"benchmark": "join", "cluster": "x86"})
+        assert store.list_apps() == ["app-1"]
+        assert store.has_app("app-1")
+        assert store.app_meta("app-1")["benchmark"] == "join"
+
+    def test_duplicate_registration_rejected(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.register_app("app-1", {})
+        with pytest.raises(ValueError):
+            store.register_app("app-1", {})
+
+    def test_bad_app_id_rejected(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        for bad in ("", "../escape", "a/b", ".hidden", "x" * 65):
+            with pytest.raises(ValueError):
+                store.register_app(bad, {})
+
+    def test_unknown_app_meta_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            HistoryStore(tmp_path).app_meta("ghost")
+
+    def test_run_table_round_trip(self, tmp_path, space_x86):
+        store = HistoryStore(tmp_path)
+        store.register_app("app-1", {})
+        config = config_to_dict(space_x86.default())
+        store.append_many("app-1", [
+            ObservationRecord(config, 100.0, 42.0, SOURCE_TUNING),
+            ObservationRecord(config, 100.0, 55.0, SOURCE_PRODUCTION, reduced=False),
+        ])
+        store.append("app-1", ObservationRecord(config, 120.0, 47.5, SOURCE_TUNING))
+        rows = store.observations("app-1")
+        assert [r.duration_s for r in rows] == [42.0, 55.0, 47.5]
+        assert [r.datasize_gb for r in rows] == [100.0, 100.0, 120.0]
+        assert config_from_dict(rows[0].config) == space_x86.default()
+        assert [r.duration_s for r in store.observations("app-1", source=SOURCE_TUNING)] == [42.0, 47.5]
+
+    def test_bad_source_rejected(self, space_x86):
+        with pytest.raises(ValueError):
+            ObservationRecord(config_to_dict(space_x86.default()), 1.0, 1.0, "guess")
+
+    def test_torn_trailing_line_dropped(self, tmp_path, space_x86):
+        store = HistoryStore(tmp_path)
+        store.register_app("app-1", {})
+        store.append("app-1", ObservationRecord(config_to_dict(space_x86.default()), 1.0, 2.0, SOURCE_TUNING))
+        with open(tmp_path / "app-1" / "runs.jsonl", "a") as handle:
+            handle.write('{"config": {"trunca')  # killed mid-append
+        rows = store.observations("app-1")
+        assert len(rows) == 1 and rows[0].duration_s == 2.0
+
+    def test_artifacts_round_trip(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.register_app("app-1", {})
+        assert store.load_artifacts("app-1") == (None, None)
+        qcsa = QCSAResult(cvs={"q1": 0.5, "q2": 0.1}, csq=("q1",), ciq=("q2",), threshold=0.23, n_samples=10)
+        cps = CPSResult(scc={"executor.memory": 0.8, "locality.wait": 0.05}, selected=("executor.memory",), threshold=0.2)
+        store.save_artifacts("app-1", qcsa, cps)
+        assert store.has_artifacts("app-1")
+        loaded_qcsa, loaded_cps = store.load_artifacts("app-1")
+        assert loaded_qcsa == qcsa
+        assert loaded_cps == cps
+
+    def test_deployment_round_trip(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.register_app("app-1", {})
+        assert store.load_deployment("app-1") is None
+        state = {"config": {"a": 1}, "tuned_datasizes": [100.0], "recent_ratios": [1.1]}
+        store.save_deployment("app-1", state)
+        assert store.load_deployment("app-1") == state
+
+
+class TestJobScheduler:
+    def test_per_app_fifo_cross_app_concurrency(self):
+        scheduler = JobScheduler(n_workers=4)
+        lock = threading.Lock()
+        finished: list[tuple[str, int]] = []
+        running: set[str] = set()
+        peak_overlap = [0]
+
+        def make(app, index):
+            def fn():
+                with lock:
+                    running.add(app)
+                    peak_overlap[0] = max(peak_overlap[0], len(running))
+                time.sleep(0.05)
+                with lock:
+                    running.discard(app)
+                    finished.append((app, index))
+            return fn
+
+        jobs = []
+        for index in range(3):
+            jobs.append(scheduler.submit("a", make("a", index)))
+            jobs.append(scheduler.submit("b", make("b", index)))
+        for job in jobs:
+            scheduler.wait(job.job_id, timeout=10.0)
+        assert [i for app, i in finished if app == "a"] == [0, 1, 2]
+        assert [i for app, i in finished if app == "b"] == [0, 1, 2]
+        assert peak_overlap[0] == 2  # the two tenants really ran concurrently
+        scheduler.shutdown()
+
+    def test_failure_captured_and_app_unblocked(self):
+        scheduler = JobScheduler(n_workers=2)
+
+        def boom():
+            raise ValueError("deliberate failure")
+
+        failed = scheduler.submit("a", boom)
+        after = scheduler.submit("a", lambda: "recovered")
+        scheduler.wait(failed.job_id, timeout=10.0)
+        scheduler.wait(after.job_id, timeout=10.0)
+        assert failed.status == "failed"
+        assert "deliberate failure" in failed.error
+        assert after.status == "done" and after.result == "recovered"
+        scheduler.shutdown()
+
+    def test_wait_timeout(self):
+        scheduler = JobScheduler(n_workers=1)
+        job = scheduler.submit("a", lambda: time.sleep(0.5))
+        with pytest.raises(TimeoutError):
+            scheduler.wait(job.job_id, timeout=0.01)
+        scheduler.wait(job.job_id, timeout=10.0)
+        scheduler.shutdown()
+
+    def test_shutdown_fails_queued_jobs(self):
+        scheduler = JobScheduler(n_workers=1)
+        started = threading.Event()
+
+        def slow():
+            started.set()
+            time.sleep(0.2)
+
+        running = scheduler.submit("a", slow)
+        queued = scheduler.submit("a", lambda: "never runs")
+        assert started.wait(5.0)  # ensure the first job is actually running
+        scheduler.shutdown(wait=True)
+        assert running.status == "done"
+        assert queued.status == "failed"
+        assert "shut down" in queued.error
+        with pytest.raises(RuntimeError):
+            scheduler.submit("a", lambda: None)
+
+    def test_unknown_job_raises(self):
+        scheduler = JobScheduler(n_workers=1)
+        with pytest.raises(KeyError):
+            scheduler.get("job-999999")
+        scheduler.shutdown()
+
+    def test_finished_jobs_evicted_beyond_cap(self):
+        scheduler = JobScheduler(n_workers=1, max_finished=3)
+        jobs = [scheduler.submit("a", lambda: "done") for _ in range(5)]
+        for job in jobs:
+            assert job.wait(timeout=10.0)
+        assert jobs[-1].fn is None  # the closure is released on completion
+        with pytest.raises(KeyError):
+            scheduler.get(jobs[0].job_id)  # oldest finished jobs evicted
+        assert scheduler.get(jobs[-1].job_id).status == "done"
+        assert len(scheduler.jobs("a")) == 3
+        scheduler.shutdown()
+
+
+class TestTuningRegistry:
+    def test_register_validates_inputs(self, tmp_path):
+        registry = TuningRegistry(HistoryStore(tmp_path))
+        with pytest.raises(ValueError):
+            registry.register("app", benchmark="ycsb")
+        with pytest.raises(ValueError):
+            registry.register("app", benchmark="join", tuner={"not_a_knob": 1})
+        with pytest.raises(ValueError):
+            registry.register("app", benchmark="join", controller={"bogus": 1})
+        registry.register("app", benchmark="join", tuner=TINY_TUNER)
+        with pytest.raises(ValueError):
+            registry.register("app", benchmark="join")
+
+    def test_observe_persists_run_table_and_artifacts(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        registry = TuningRegistry(store)
+        registry.register("app", benchmark="join", seed=7, tuner=TINY_TUNER)
+        decision = registry.observe("app", 100.0)
+        assert decision.retuned
+        assert store.has_artifacts("app")
+        tuning_rows = store.observations("app", source=SOURCE_TUNING)
+        session = registry.get("app")
+        assert len(tuning_rows) == len(session.locat.observation_history)
+        # A measured production run lands in the table too.
+        registry.observe("app", 100.0, duration_s=123.0)
+        production = store.observations("app", source=SOURCE_PRODUCTION)
+        assert len(production) == 1
+        assert production[0].duration_s == 123.0
+        assert not production[0].reduced
+
+    def test_production_rows_name_the_config_that_actually_ran(self, tmp_path):
+        """A drift retune swaps the deployment; the measured duration must
+        stay attributed to the configuration it was measured under."""
+        store = HistoryStore(tmp_path)
+        registry = TuningRegistry(store)
+        registry.register("app", benchmark="join", seed=7, tuner=TINY_TUNER,
+                          controller={"drift_patience": 2})
+        first = registry.observe("app", 100.0)
+        old_config = first.config
+        slow = first.result.best_duration_s * 3.0
+        registry.observe("app", 100.0, duration_s=slow)
+        retuned = registry.observe("app", 100.0, duration_s=slow)
+        assert retuned.retuned
+        rows = store.observations("app", source=SOURCE_PRODUCTION)
+        assert len(rows) == 2
+        assert all(config_from_dict(r.config) == old_config for r in rows)
+
+    def test_duration_before_first_deployment_not_recorded(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        registry = TuningRegistry(store)
+        registry.register("app", benchmark="join", seed=7, tuner=TINY_TUNER)
+        registry.observe("app", 100.0, duration_s=500.0)  # nothing deployed yet
+        assert store.observations("app", source=SOURCE_PRODUCTION) == []
+
+    def test_restart_resumes_without_bootstrap(self, tmp_path):
+        store_dir = tmp_path / "store"
+        registry = TuningRegistry(HistoryStore(store_dir))
+        registry.register("app", benchmark="join", seed=7, tuner=TINY_TUNER,
+                          controller={"drift_patience": 2})
+        first = registry.observe("app", 100.0)
+        evaluations_paid = registry.get("app").locat.objective.n_evaluations
+        assert evaluations_paid > 0
+
+        rehydrated = TuningRegistry(HistoryStore(store_dir))
+        session = rehydrated.get("app")
+        assert session.restored
+        assert session.locat.is_bootstrapped
+        assert session.locat.objective.n_evaluations == 0  # bootstrap skipped
+        assert session.controller.deployed_config == first.config
+        assert session.controller.tuned_datasizes == [100.0]
+
+        decision = rehydrated.observe("app", 105.0)
+        assert not decision.retuned
+        assert decision.config == first.config
+        assert session.locat.objective.n_evaluations == 0  # reuse was free
+
+    def test_restart_preserves_drift_window(self, tmp_path):
+        store_dir = tmp_path / "store"
+        registry = TuningRegistry(HistoryStore(store_dir))
+        registry.register("app", benchmark="join", seed=7, tuner=TINY_TUNER,
+                          controller={"drift_patience": 2})
+        first = registry.observe("app", 100.0)
+        slow = first.result.best_duration_s * 3.0
+        registry.observe("app", 100.0, duration_s=slow)  # half the patience window
+
+        rehydrated = TuningRegistry(HistoryStore(store_dir))
+        assert len(rehydrated.get("app").controller.recent_ratios) == 1
+        decision = rehydrated.observe("app", 100.0, duration_s=slow)
+        assert decision.retuned  # the restored half-window completed the pattern
+        assert "consecutive" in decision.reason
+
+    def test_unknown_app_raises(self, tmp_path):
+        registry = TuningRegistry(HistoryStore(tmp_path))
+        with pytest.raises(KeyError):
+            registry.observe("ghost", 100.0)
+
+
+class TestServiceIntegration:
+    """The acceptance path: concurrent tenants, kill, restart, resume."""
+
+    def test_multi_tenant_restart_resume(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        tenants = {"tenant-join": "join", "tenant-scan": "scan"}
+        sizes = {"tenant-join": [100.0, 104.0, 108.0], "tenant-scan": [200.0, 206.0, 212.0]}
+
+        service = TuningService(store_dir, port=0, n_workers=4).start()
+        client = TuningClient(service.url)
+        for app_id, benchmark in tenants.items():
+            created = client.register_app(app_id, benchmark, seed=7, tuner=TINY_TUNER)
+            assert created["app_id"] == app_id
+
+        errors: list[Exception] = []
+
+        def feed(app_id):
+            try:
+                for datasize in sizes[app_id]:
+                    job = client.observe(app_id, datasize)
+                    assert job["status"] == "done"
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=feed, args=(a,)) for a in tenants]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+        before = {a["app_id"]: a for a in client.list_apps()}
+        configs = {}
+        for app_id in tenants:
+            assert before[app_id]["bootstrapped"]
+            assert before[app_id]["evaluations"] > 0
+            configs[app_id] = client.config(app_id)["parameters"]
+            history = client.history(app_id)
+            assert history["count"] > 0
+            assert {row["source"] for row in history["observations"]} <= {SOURCE_TUNING, SOURCE_PRODUCTION}
+        service.close()  # kill the service
+
+        restarted = TuningService(store_dir, port=0, n_workers=4).start()
+        client = TuningClient(restarted.url)
+        for app_id in tenants:
+            status = client.app(app_id)
+            assert status["bootstrapped"] and status["restored"]
+            assert status["evaluations"] == 0  # QCSA/IICP bootstrap NOT re-run
+            assert client.config(app_id)["parameters"] == configs[app_id]
+
+        job = client.observe("tenant-join", 102.0)
+        assert job["decision"]["retuned"] is False
+        assert client.app("tenant-join")["evaluations"] == 0
+        restarted.close()
+
+    def test_http_error_paths(self, tmp_path):
+        with TuningService(str(tmp_path), port=0, n_workers=1).start() as service:
+            client = TuningClient(service.url)
+            assert client.health()["status"] == "ok"
+            with pytest.raises(ServiceError) as excinfo:
+                client.app("ghost")
+            assert excinfo.value.status == 404
+            client.register_app("app", "join", tuner=TINY_TUNER)
+            with pytest.raises(ServiceError) as excinfo:
+                client.register_app("app", "join")
+            assert excinfo.value.status == 409
+            with pytest.raises(ServiceError) as excinfo:
+                client.register_app("other", "ycsb")
+            assert excinfo.value.status == 400
+            with pytest.raises(ServiceError) as excinfo:
+                client.config("app")  # nothing deployed yet
+            assert excinfo.value.status == 404
+            # A job that fails (bad datasize) surfaces as HTTP 500.
+            with pytest.raises(ServiceError) as excinfo:
+                client.observe("app", -5.0)
+            assert excinfo.value.status == 500
+
+    def test_async_observe_and_jobs_listing(self, tmp_path):
+        with TuningService(str(tmp_path), port=0, n_workers=2).start() as service:
+            client = TuningClient(service.url)
+            client.register_app("app", "scan", seed=3, tuner=TINY_TUNER)
+            queued = client.observe("app", 100.0, wait=False)
+            assert queued["status"] in ("queued", "running")
+            done = client.wait_job(queued["job_id"], timeout=120.0)
+            assert done["decision"]["retuned"]
+            listed = client.jobs("app")
+            assert [j["job_id"] for j in listed] == [queued["job_id"]]
