@@ -49,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
     tune = sub.add_parser("tune", help="tune a benchmark with LOCAT")
     _add_common(tune)
     tune.add_argument("--iterations", type=int, default=25, help="max BO iterations")
+    tune.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel evaluation workers: each BO refit proposes that many "
+        "configurations (constant-liar q-EI) and runs them concurrently; "
+        "1 (default) reproduces the serial trajectory exactly",
+    )
     tune.add_argument("--output", help="write spark-defaults.conf here")
 
     qcsa = sub.add_parser("qcsa", help="query configuration sensitivity analysis")
@@ -77,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=4,
         help="tuning worker threads shared across applications (default: 4)",
     )
+    serve.add_argument(
+        "--eval-workers", type=int, default=1,
+        help="per-session parallel evaluation workers for tenants that do not "
+        "set tuner.n_workers themselves (default: 1, fully serial sessions)",
+    )
     return parser
 
 
@@ -88,7 +99,10 @@ def _make(args) -> tuple[SparkSQLSimulator, object]:
 def cmd_tune(args) -> int:
     simulator, app = _make(args)
     print(f"Tuning {app.name} at {args.datasize:.0f} GB on the {args.cluster} cluster...")
-    locat = LOCAT(simulator, app, rng=args.seed, max_iterations=args.iterations)
+    locat = LOCAT(
+        simulator, app, rng=args.seed, max_iterations=args.iterations,
+        n_workers=args.workers,
+    )
     result = locat.tune(args.datasize)
     print(result.summary())
 
@@ -191,7 +205,8 @@ def cmd_serve(args) -> int:
     from repro.service import TuningService
 
     service = TuningService(
-        args.store, host=args.host, port=args.port, n_workers=args.workers
+        args.store, host=args.host, port=args.port, n_workers=args.workers,
+        eval_workers=args.eval_workers,
     )
     rehydrated = service.registry.app_ids()
     print(f"tuning service listening on {service.url} (store: {args.store})")

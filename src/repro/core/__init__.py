@@ -9,9 +9,11 @@
 """
 
 from repro.core.dagp import DatasizeAwareGP
+from repro.core.datasize import normalize_datasize
 from repro.core.iicp import CPEResult, CPSResult, IICP, IICPResult
 from repro.core.locat import LOCAT
 from repro.core.objective import SparkSQLObjective, Trial
+from repro.core.parallel import EvalRequest, ParallelEvaluator
 from repro.core.qcsa import QCSA, QCSAResult
 from repro.core.result import TuningResult
 
@@ -19,12 +21,15 @@ __all__ = [
     "CPEResult",
     "CPSResult",
     "DatasizeAwareGP",
+    "EvalRequest",
     "IICP",
     "IICPResult",
     "LOCAT",
+    "ParallelEvaluator",
     "QCSA",
     "QCSAResult",
     "SparkSQLObjective",
     "Trial",
     "TuningResult",
+    "normalize_datasize",
 ]

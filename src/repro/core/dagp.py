@@ -26,8 +26,12 @@ from repro.stats.sampling import ensure_rng
 DATASIZE_REFERENCE_GB = 1024.0
 
 
-def normalize_datasize(datasize_gb: float | np.ndarray) -> np.ndarray:
-    """Map datasize in GB to a [0, ~1] coordinate (linear in TB)."""
+def datasize_coordinate(datasize_gb: float | np.ndarray) -> np.ndarray:
+    """Map datasize in GB to a [0, ~1] GP input coordinate (linear in TB).
+
+    This is the surrogate's *feature scaling*, not datasize identity —
+    histories are keyed by :func:`repro.core.datasize.normalize_datasize`.
+    """
     return np.asarray(datasize_gb, dtype=float) / DATASIZE_REFERENCE_GB
 
 
@@ -57,7 +61,7 @@ class DatasizeAwareGP:
     @staticmethod
     def _join(config_points: np.ndarray, datasizes_gb: np.ndarray) -> np.ndarray:
         config_points = np.atleast_2d(np.asarray(config_points, dtype=float))
-        ds = normalize_datasize(np.asarray(datasizes_gb, dtype=float).ravel())
+        ds = datasize_coordinate(np.asarray(datasizes_gb, dtype=float).ravel())
         if config_points.shape[0] != ds.shape[0]:
             raise ValueError("config_points and datasizes must have equal length")
         return np.hstack([config_points, ds[:, None]])

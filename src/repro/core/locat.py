@@ -34,8 +34,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.datasize import normalize_datasize
 from repro.core.iicp import DEFAULT_N_IICP, IICP, IICPResult, run_cpe
 from repro.core.objective import SparkSQLObjective, Trial
+from repro.core.parallel import EvalRequest, ParallelEvaluator
 from repro.core.qcsa import DEFAULT_N_QCSA, QCSAResult, analyze_samples
 from repro.core.result import TuningResult
 from repro.core.tuner import BOLoop, DEFAULT_EI_THRESHOLD, DEFAULT_MIN_ITERATIONS
@@ -77,6 +79,7 @@ class LOCAT:
         use_iicp: bool = True,
         use_dagp: bool = True,
         use_polish: bool = True,
+        n_workers: int = 1,
         rng: int | np.random.Generator | None = None,
     ):
         self.simulator = simulator
@@ -95,9 +98,14 @@ class LOCAT:
         self.use_iicp = use_iicp
         self.use_dagp = use_dagp
         self.use_polish = use_polish
+        self.n_workers = int(n_workers)
         self.rng = ensure_rng(rng)
 
         self.objective = SparkSQLObjective(simulator, app, rng=self.rng)
+        # n_workers=1 delegates to the plain serial objective calls, so
+        # seeded single-worker sessions reproduce the serial trajectory
+        # exactly; n_workers>1 runs each BO batch concurrently.
+        self.evaluator = ParallelEvaluator(self.objective, n_workers=self.n_workers)
         self.qcsa_result: QCSAResult | None = None
         self.iicp_result: IICPResult | None = None
         self._observations: list[_Observation] = []
@@ -129,10 +137,16 @@ class LOCAT:
         """
         if self.is_bootstrapped:
             return
+        datasize_gb = normalize_datasize(datasize_gb)
         space = self.objective.space
 
         def evaluate(point: np.ndarray, ds: float) -> float:
-            return self.objective.run(space.decode(point), ds).duration_s
+            return self.evaluator.run(space.decode(point), ds).duration_s
+
+        def evaluate_batch(points: np.ndarray, ds: float) -> np.ndarray:
+            requests = [EvalRequest(space.decode(p), ds) for p in np.atleast_2d(points)]
+            trials = self.evaluator.run_batch(requests)
+            return np.array([t.duration_s for t in trials])
 
         loop = BOLoop(
             dim=space.dim,
@@ -142,9 +156,14 @@ class LOCAT:
             ei_threshold=0.0,
             n_mcmc=min(self.n_mcmc, 4),
             n_candidates=192,
+            batch_size=self.n_workers,
             rng=self.rng,
         )
-        loop.minimize(evaluate, datasize_gb)
+        loop.minimize(
+            evaluate,
+            datasize_gb,
+            evaluate_batch=evaluate_batch if self.n_workers > 1 else None,
+        )
         bootstrap_trials = list(self.objective.history)
 
         samples = {q: [] for q in self.app.query_names}
@@ -228,7 +247,11 @@ class LOCAT:
             raise ValueError("restore needs at least three observations")
         self.qcsa_result = qcsa_result
         self._observations = [
-            _Observation(config=config, datasize_gb=float(ds), rqa_duration_s=float(dur))
+            _Observation(
+                config=config,
+                datasize_gb=normalize_datasize(ds),
+                rqa_duration_s=float(dur),
+            )
             for config, ds, dur in observations
         ]
         if self.use_iicp:
@@ -400,6 +423,17 @@ class LOCAT:
     # ------------------------------------------------------------------
     def tune(self, datasize_gb: float) -> TuningResult:
         """Tune for ``datasize_gb``; later calls reuse all prior knowledge."""
+        try:
+            return self._tune(datasize_gb)
+        finally:
+            # Sessions are rare (bootstrap, then occasional adaptation);
+            # keeping n_workers pool threads alive between them — per
+            # tenant, for the service's lifetime — is a leak, and the
+            # next session lazily recreates the pool anyway.
+            self.evaluator.close()
+
+    def _tune(self, datasize_gb: float) -> TuningResult:
+        datasize_gb = normalize_datasize(datasize_gb)
         overhead_before = self.objective.overhead_s
         evals_before = self.objective.n_evaluations
         fresh_session = not self.is_bootstrapped
@@ -439,11 +473,24 @@ class LOCAT:
 
             def evaluate(latent: np.ndarray, ds: float) -> float:
                 config = iicp.decode(latent)
-                trial = self.objective.run_subset(config, ds, csq)
+                trial = self.evaluator.run_subset(config, ds, csq)
                 self._observations.append(
                     _Observation(config=config, datasize_gb=ds, rqa_duration_s=trial.duration_s)
                 )
                 return trial.duration_s
+
+            def evaluate_batch(latents: np.ndarray, ds: float) -> np.ndarray:
+                configs = iicp.decode_batch(np.atleast_2d(latents))
+                trials = self.evaluator.run_batch(
+                    [EvalRequest(config, ds, tuple(csq)) for config in configs]
+                )
+                for config, trial in zip(configs, trials):
+                    self._observations.append(
+                        _Observation(
+                            config=config, datasize_gb=ds, rqa_duration_s=trial.duration_s
+                        )
+                    )
+                return np.array([t.duration_s for t in trials])
 
             if self.use_dagp:
                 warm = list(self._observations)
@@ -462,6 +509,7 @@ class LOCAT:
                 max_iterations=chunk,
                 ei_threshold=self.ei_threshold,
                 n_mcmc=self.n_mcmc,
+                batch_size=self.n_workers,
                 rng=self.rng,
             )
             trace = loop.minimize(
@@ -470,6 +518,7 @@ class LOCAT:
                 warm_points=warm_points,
                 warm_datasizes=np.array([o.datasize_gb for o in warm]) if warm else None,
                 warm_durations=np.array([o.rqa_duration_s for o in warm]) if warm else None,
+                evaluate_batch=evaluate_batch if self.n_workers > 1 else None,
             )
             iterations_done += trace.n_evaluations - n_warm
             stopped_by_ei = trace.stopped_by_ei

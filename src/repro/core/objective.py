@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.datasize import normalize_datasize
 from repro.sparksim.configspace import Configuration
 from repro.sparksim.engine import SparkSQLSimulator
 from repro.sparksim.metrics import ApplicationMetrics
@@ -29,6 +30,32 @@ class Trial:
     duration_s: float  # duration of what was actually executed
     metrics: ApplicationMetrics
     reduced: bool  # True when only the RQA (CSQ subset) was executed
+
+
+def execute_trial(
+    simulator: SparkSQLSimulator,
+    app: Application,
+    config: Configuration,
+    datasize_gb: float,
+    queries: list[str] | tuple[str, ...] | None = None,
+    rng: np.random.Generator | None = None,
+) -> Trial:
+    """Run one configuration and build its :class:`Trial` (no recording).
+
+    Free of objective state on purpose: a process-pool worker only needs
+    the simulator and the application shipped to it — not a whole
+    objective whose trial history grows with the session.
+    """
+    generator = ensure_rng(rng)
+    target = app if queries is None else app.subset(list(queries))
+    metrics = simulator.run(target, config, datasize_gb, rng=generator)
+    return Trial(
+        config=config,
+        datasize_gb=normalize_datasize(datasize_gb),
+        duration_s=metrics.duration_s,
+        metrics=metrics,
+        reduced=queries is not None,
+    )
 
 
 class SparkSQLObjective:
@@ -63,34 +90,40 @@ class SparkSQLObjective:
     def overhead_hours(self) -> float:
         return self.overhead_s / 3600.0
 
+    def execute(
+        self,
+        config: Configuration,
+        datasize_gb: float,
+        queries: list[str] | tuple[str, ...] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> Trial:
+        """Execute a configuration WITHOUT recording it.
+
+        ``queries=None`` runs the full application; otherwise only the
+        named queries (the RQA path).  ``rng`` defaults to the shared
+        objective generator; a parallel evaluator passes per-request
+        child generators instead so concurrent executions never race on
+        shared RNG state (see :mod:`repro.core.parallel`).  Pair with
+        :meth:`record` to append the trial and account its overhead.
+        """
+        generator = self.rng if rng is None else rng
+        return execute_trial(
+            self.simulator, self.app, config, datasize_gb, queries, rng=generator
+        )
+
+    def record(self, trial: Trial) -> Trial:
+        """Append a trial to the history and charge its overhead."""
+        self.history.append(trial)
+        self.overhead_s += trial.duration_s
+        return trial
+
     def run(self, config: Configuration, datasize_gb: float) -> Trial:
         """Execute the full application and record the trial."""
-        metrics = self.simulator.run(self.app, config, datasize_gb, rng=self.rng)
-        trial = Trial(
-            config=config,
-            datasize_gb=float(datasize_gb),
-            duration_s=metrics.duration_s,
-            metrics=metrics,
-            reduced=False,
-        )
-        self.history.append(trial)
-        self.overhead_s += metrics.duration_s
-        return trial
+        return self.record(self.execute(config, datasize_gb))
 
     def run_subset(self, config: Configuration, datasize_gb: float, queries: list[str]) -> Trial:
         """Execute only ``queries`` (the RQA) and record the trial."""
-        reduced_app = self.app.subset(queries)
-        metrics = self.simulator.run(reduced_app, config, datasize_gb, rng=self.rng)
-        trial = Trial(
-            config=config,
-            datasize_gb=float(datasize_gb),
-            duration_s=metrics.duration_s,
-            metrics=metrics,
-            reduced=True,
-        )
-        self.history.append(trial)
-        self.overhead_s += metrics.duration_s
-        return trial
+        return self.record(self.execute(config, datasize_gb, queries))
 
     def measure(self, config: Configuration, datasize_gb: float, repeats: int = 1) -> float:
         """Mean full-application time of ``config`` WITHOUT counting overhead.
@@ -114,6 +147,8 @@ class SparkSQLObjective:
         """
         if not self.history:
             raise RuntimeError("no trials recorded yet")
+        if datasize_gb is not None:
+            datasize_gb = normalize_datasize(datasize_gb)
         candidates = [t for t in self.history if not t.reduced]
         if datasize_gb is not None:
             candidates = [t for t in candidates if t.datasize_gb == datasize_gb]

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.datasize import normalize_datasize
 from repro.core.locat import LOCAT
 from repro.core.result import TuningResult
 from repro.sparksim.configspace import Configuration
@@ -112,9 +113,22 @@ class OnlineController:
             raise ValueError("restore_state needs at least one tuned datasize")
         self._state = _DeployedState(
             config=config,
-            tuned_datasizes=[float(d) for d in tuned_datasizes],
+            tuned_datasizes=[normalize_datasize(d) for d in tuned_datasizes],
             recent_ratios=[float(r) for r in (recent_ratios or [])],
         )
+
+    def would_retune(self, datasize_gb: float) -> bool:
+        """Whether an observe at this datasize *deterministically* starts
+        a tuning session: nothing deployed yet, or the size is beyond
+        ``datasize_margin`` from everything tuned.  Drift-triggered
+        retunes depend on the measured duration and are not predicted.
+        The scheduler uses this to size a job's slot reservation before
+        running it."""
+        datasize_gb = normalize_datasize(datasize_gb)
+        if self._state is None:
+            return True
+        nearest = min(self._state.tuned_datasizes, key=lambda d: abs(d - datasize_gb))
+        return abs(datasize_gb - nearest) / nearest > self.datasize_margin
 
     def _expected_duration(self, datasize_gb: float) -> float | None:
         """Expected RQA-scaled duration of the deployed config at a size.
@@ -140,8 +154,10 @@ class OnlineController:
         call or when measurements are unavailable).  Returns the decision
         with the configuration to use for this run.
         """
-        if datasize_gb <= 0:
-            raise ValueError("datasize_gb must be positive")
+        # Canonicalize before any comparison or store: a client sending
+        # 100 vs 100.0 vs a JSON round-trip artifact must hit the same
+        # tuned-datasize history, not fork a new one.
+        datasize_gb = normalize_datasize(datasize_gb)
 
         if self._state is None:
             result = self.locat.tune(datasize_gb)
@@ -158,9 +174,11 @@ class OnlineController:
             )
 
         state = self._state
-        nearest = min(state.tuned_datasizes, key=lambda d: abs(d - datasize_gb))
-        relative_gap = abs(datasize_gb - nearest) / nearest
-        if relative_gap > self.datasize_margin:
+        if self.would_retune(datasize_gb):
+            # Recomputed here only for the human-readable reason; the
+            # decision rule itself lives in would_retune.
+            nearest = min(state.tuned_datasizes, key=lambda d: abs(d - datasize_gb))
+            relative_gap = abs(datasize_gb - nearest) / nearest
             result = self.locat.tune(datasize_gb)
             state.config = result.best_config
             state.tuned_datasizes.append(datasize_gb)

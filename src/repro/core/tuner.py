@@ -10,6 +10,13 @@ iterations, then stop once the maximal expected improvement drops below
 ``ei_threshold``.  Because the surrogate models *log* durations, an EI
 below 0.1 literally means "under ~10% expected improvement", matching
 the paper's "EI drops below 10%" rule.
+
+With ``batch_size=q > 1`` (and a caller-provided ``evaluate_batch``),
+each surrogate refit proposes ``q`` points via greedy constant-liar
+q-EI and hands them to the caller as one batch — the parallel
+evaluation pipeline runs them concurrently.  ``batch_size=1`` follows
+the exact serial code path, so seeded serial trajectories are
+unchanged.
 """
 
 from __future__ import annotations
@@ -19,9 +26,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.bo.acquisition import constant_liar
 from repro.bo.lhs import latin_hypercube
-from repro.bo.optimize import maximize_acquisition
+from repro.bo.optimize import maximize_acquisition, propose_batch
 from repro.core.dagp import DatasizeAwareGP
+from repro.core.datasize import normalize_datasize
 from repro.stats.sampling import ensure_rng
 
 #: Paper defaults (section 3.4).
@@ -45,13 +54,24 @@ class BOTrace:
         return len(self.durations)
 
     def best(self, datasize_gb: float | None = None) -> tuple[np.ndarray, float]:
-        """Best (point, duration); optionally restricted to one datasize."""
+        """Best (point, duration); optionally restricted to one datasize.
+
+        Raises when no evaluation matches ``datasize_gb`` — silently
+        widening to all datasizes would let a cheaper datasize's
+        duration masquerade as the EI incumbent and trigger a spurious
+        early stop (adaptation sessions warm-start from other sizes).
+        """
         if not self.durations:
             raise RuntimeError("no evaluations recorded")
-        indices = range(len(self.durations))
+        indices: list[int] | range = range(len(self.durations))
         if datasize_gb is not None:
-            restricted = [i for i in indices if self.datasizes[i] == datasize_gb]
-            indices = restricted or list(range(len(self.durations)))
+            datasize_gb = normalize_datasize(datasize_gb)
+            indices = [i for i in indices if self.datasizes[i] == datasize_gb]
+            if not indices:
+                raise RuntimeError(
+                    f"no evaluations recorded at datasize {datasize_gb} GB "
+                    f"(observed sizes: {sorted(set(self.datasizes))})"
+                )
         best_i = min(indices, key=lambda i: self.durations[i])
         return self.points[best_i], self.durations[best_i]
 
@@ -74,10 +94,14 @@ class BOLoop:
         ei_threshold: float = DEFAULT_EI_THRESHOLD,
         n_mcmc: int = 8,
         n_candidates: int = 384,
+        batch_size: int = 1,
+        liar_strategy: str = "min",
         rng: int | np.random.Generator | None = None,
     ):
         if dim <= 0:
             raise ValueError("dim must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         n_init = min(n_init, max_iterations)  # small budgets shrink the design
         self.dim = dim
         if bounds is None:
@@ -96,6 +120,8 @@ class BOLoop:
         self.ei_threshold = ei_threshold
         self.n_mcmc = n_mcmc
         self.n_candidates = n_candidates
+        self.batch_size = batch_size
+        self.liar_strategy = liar_strategy
         self.rng = ensure_rng(rng)
 
     # ------------------------------------------------------------------
@@ -113,6 +139,7 @@ class BOLoop:
         warm_points: np.ndarray | None = None,
         warm_datasizes: np.ndarray | None = None,
         warm_durations: np.ndarray | None = None,
+        evaluate_batch: Callable[[np.ndarray, float], np.ndarray] | None = None,
     ) -> BOTrace:
         """Run BO at ``datasize_gb``; warm data seeds the surrogate.
 
@@ -120,8 +147,22 @@ class BOLoop:
         Warm observations (possibly at other datasizes — the DAGP
         transfer) count toward the surrogate but not the iteration or
         stop-rule budget.
+
+        ``evaluate_batch(points, datasize)`` must return one duration
+        per row of ``points`` and may run the rows concurrently; it is
+        only used when ``batch_size > 1`` — the serial path is
+        bit-for-bit the same with or without it.
         """
+        datasize_gb = normalize_datasize(datasize_gb)
+        batched = self.batch_size > 1 and evaluate_batch is not None
+
         trace = BOTrace()
+
+        def observe(point: np.ndarray, duration: float) -> None:
+            trace.points.append(np.asarray(point, dtype=float))
+            trace.datasizes.append(datasize_gb)
+            trace.durations.append(float(duration))
+
         if warm_points is not None:
             warm_points = np.atleast_2d(np.asarray(warm_points, dtype=float))
             warm_datasizes = np.asarray(warm_datasizes, dtype=float).ravel()
@@ -130,20 +171,34 @@ class BOLoop:
                 raise ValueError("warm arrays must have equal length")
             for p, d, y in zip(warm_points, warm_datasizes, warm_durations):
                 trace.points.append(np.asarray(p, dtype=float))
-                trace.datasizes.append(float(d))
+                trace.datasizes.append(normalize_datasize(d))
                 trace.durations.append(float(y))
         n_warm = trace.n_evaluations
 
         # Initial design: LHS over the box (skipped when warm data at the
-        # target datasize already covers it).
+        # target datasize already covers it).  In batch mode the whole
+        # design is one concurrent batch.
         have_at_ds = sum(1 for d in trace.datasizes if d == datasize_gb)
         n_init = max(0, self.n_init - have_at_ds)
-        for unit in latin_hypercube(n_init, self.dim, self.rng) if n_init else []:
-            point = self._from_unit(unit)
-            duration = float(evaluate(point, datasize_gb))
-            trace.points.append(point)
-            trace.datasizes.append(float(datasize_gb))
-            trace.durations.append(duration)
+        if n_init:
+            init_units = latin_hypercube(n_init, self.dim, self.rng)
+            if batched:
+                init_points = self._from_unit(init_units)
+                durations = np.asarray(evaluate_batch(init_points, datasize_gb), dtype=float)
+                for point, duration in zip(init_points, durations, strict=True):
+                    observe(point, duration)
+            else:
+                for unit in init_units:
+                    point = self._from_unit(unit)
+                    observe(point, float(evaluate(point, datasize_gb)))
+
+        # The EI incumbent must live at the target datasize.  Without it
+        # (warm data entirely at other sizes and a zero-size initial
+        # design) re-measure the best warm point at the target instead of
+        # letting a cheaper datasize's duration anchor the acquisition.
+        if trace.n_evaluations and datasize_gb not in trace.datasizes:
+            best_warm = trace.points[int(np.argmin(trace.durations))]
+            observe(best_warm, float(evaluate(best_warm, datasize_gb)))
 
         iterations = 0
         while trace.n_evaluations - n_warm < self.max_iterations:
@@ -162,22 +217,85 @@ class BOLoop:
             anchors = self._to_unit(np.stack(trace.points))[
                 np.argsort(trace.durations)[:3]
             ]
-            unit_point, ei = maximize_acquisition(
-                score,
-                self.dim,
-                n_candidates=self.n_candidates,
-                anchors=anchors,
-                rng=self.rng,
-            )
+            if batched:
+                remaining = self.max_iterations - (trace.n_evaluations - n_warm)
+                q = min(self.batch_size, remaining)
+                unit_batch, eis = propose_batch(
+                    self._liar_score_factory(trace, score, datasize_gb, best_duration),
+                    self.dim,
+                    q,
+                    n_candidates=self.n_candidates,
+                    anchors=anchors,
+                    rng=self.rng,
+                )
+                ei = float(eis[0])  # the exact single-point EI maximum
+            else:
+                unit_point, ei = maximize_acquisition(
+                    score,
+                    self.dim,
+                    n_candidates=self.n_candidates,
+                    anchors=anchors,
+                    rng=self.rng,
+                )
             trace.ei_values.append(float(ei))
             iterations += 1
-            if iterations > self.min_iterations and ei < self.ei_threshold:
+            if iterations >= self.min_iterations and ei < self.ei_threshold:
                 trace.stopped_by_ei = True
                 break
 
-            point = self._from_unit(unit_point)
-            duration = float(evaluate(point, datasize_gb))
-            trace.points.append(point)
-            trace.datasizes.append(float(datasize_gb))
-            trace.durations.append(duration)
+            if batched:
+                iterations += q - 1  # every proposal of the batch counts
+                points = self._from_unit(unit_batch)
+                durations = np.asarray(evaluate_batch(points, datasize_gb), dtype=float)
+                for point, duration in zip(points, durations, strict=True):
+                    observe(point, duration)
+            else:
+                point = self._from_unit(unit_point)
+                observe(point, float(evaluate(point, datasize_gb)))
         return trace
+
+    def _liar_score_factory(
+        self,
+        trace: BOTrace,
+        score: Callable[[np.ndarray], np.ndarray],
+        datasize_gb: float,
+        best_duration: float,
+    ) -> Callable[[list[np.ndarray]], Callable[[np.ndarray], np.ndarray]]:
+        """Constant-liar surrogate refits for greedy q-EI proposals.
+
+        The first point of a batch is scored by the real EI-MCMC model;
+        each later point sees a point-estimate surrogate where the
+        pending proposals are pretended to have returned the incumbent
+        duration (CL-min), which collapses EI around them and pushes the
+        batch apart.
+        """
+        # The lie is computed over the durations observed at the target
+        # datasize: "min" equals the incumbent (CL-min), while "mean" and
+        # "max" genuinely differ as milder/pessimistic variants.
+        at_target = [
+            duration
+            for duration, ds in zip(trace.durations, trace.datasizes)
+            if ds == datasize_gb
+        ]
+        lie = constant_liar(np.asarray(at_target), self.liar_strategy)
+        unit_observed = self._to_unit(np.stack(trace.points))
+        observed_ds = np.array(trace.datasizes)
+        observed_durations = np.array(trace.durations)
+
+        def score_for(pending: list[np.ndarray]) -> Callable[[np.ndarray], np.ndarray]:
+            if not pending:
+                return score
+            liar_model = DatasizeAwareGP(self.dim, n_mcmc=0)
+            liar_model.fit(
+                np.vstack([unit_observed, np.stack(pending)]),
+                np.concatenate([observed_ds, np.full(len(pending), datasize_gb)]),
+                np.concatenate([observed_durations, np.full(len(pending), lie)]),
+                rng=self.rng,
+            )
+
+            def liar_score(unit_candidates: np.ndarray) -> np.ndarray:
+                return liar_model.acquisition(unit_candidates, datasize_gb, best_duration)
+
+            return liar_score
+
+        return score_for

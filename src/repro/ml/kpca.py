@@ -63,6 +63,7 @@ class KernelPCA:
         self._x: np.ndarray | None = None
         self._alphas: np.ndarray | None = None  # (n_train, n_components)
         self._lambdas: np.ndarray | None = None
+        self._train_latents: np.ndarray | None = None  # cached transform(self._x)
         self._k_row_means: np.ndarray | None = None
         self._k_mean = 0.0
         self._gamma_value = 1.0
@@ -131,6 +132,10 @@ class KernelPCA:
         self._alphas = eigvecs[:, :n_comp] / np.sqrt(np.maximum(self._lambdas, 1e-18))
         self.n_components_ = n_comp
         self.explained_variance_ratio_ = ratios[:n_comp]
+        # Cache the training latents once: latent_bounds() and every
+        # pre-image call need them, and recomputing transform(self._x)
+        # per call dominated inverse_transform profiles.
+        self._train_latents = self.transform(x)
         return self
 
     def transform(self, x: np.ndarray) -> np.ndarray:
@@ -159,9 +164,9 @@ class KernelPCA:
         BO searches inside this box (slightly inflated) when tuning in
         the extracted-parameter space.
         """
-        if self._x is None:
+        if self._x is None or self._train_latents is None:
             raise RuntimeError("latent_bounds() called before fit()")
-        latents = self.transform(self._x)
+        latents = self._train_latents
         low = latents.min(axis=0)
         high = latents.max(axis=0)
         margin = 0.1 * np.maximum(high - low, 1e-9)
@@ -171,64 +176,57 @@ class KernelPCA:
         """Approximate pre-images of latent points, clipped to [0, 1].
 
         Solves ``argmin_x ||transform(x) - z||^2`` over the unit cube by
-        batched coordinate descent, seeded from the training point whose
-        latent image is nearest to ``z``.  Direct optimization of the
-        projection error is markedly more robust than the classical
-        fixed-point iteration when ``z`` lies off the training manifold —
-        which is exactly where BO's acquisition likes to propose points.
+        coordinate descent run for *all rows simultaneously*: every
+        sweep scores the ``2 * dim`` single-coordinate perturbations of
+        every still-active row in one vectorized :meth:`transform` call,
+        with per-row step sizes and convergence.  Each row is seeded
+        from the training point whose latent image is nearest, so the
+        inversion is exact for training latents and encode/decode
+        round-trips preserve observed configurations — essential for
+        BO, where conflicting pre-images of the same latent would
+        corrupt the surrogate.  Batched BO decodes a whole proposal
+        batch for roughly the cost of one row.
         """
-        if self._x is None or self._alphas is None:
+        if self._x is None or self._alphas is None or self._train_latents is None:
             raise RuntimeError("inverse_transform() called before fit()")
         z = np.atleast_2d(np.asarray(latents, dtype=float))
         if z.shape[1] != self.n_components_:
             raise ValueError(f"expected {self.n_components_} latent dims, got {z.shape[1]}")
-        train_latents = self.transform(self._x)
-        out = np.empty((z.shape[0], self._x.shape[1]), dtype=float)
-        for i in range(z.shape[0]):
-            out[i] = self._preimage_single(z[i], train_latents, n_iterations)
-        return np.clip(out, 0.0, 1.0)
-
-    def _preimage_single(
-        self,
-        target: np.ndarray,
-        train_latents: np.ndarray,
-        n_sweeps: int,
-    ) -> np.ndarray:
         x = self._x
-        assert x is not None
-        d = x.shape[1]
+        n_rows, d = z.shape[0], x.shape[1]
 
-        # Seed: the training point whose latent image is nearest.  This
-        # makes the inversion exact for training latents (the seed already
-        # has zero error), so encode/decode round-trips preserve observed
-        # configurations — essential for BO, where conflicting pre-images
-        # of the same latent would corrupt the surrogate.
-        dists = np.linalg.norm(train_latents - target[None, :], axis=1)
-        point = x[int(np.argmin(dists))].copy()
+        # Seeds: nearest training latent per target row.
+        dists = np.linalg.norm(self._train_latents[None, :, :] - z[:, None, :], axis=2)
+        points = x[np.argmin(dists, axis=1)].copy()
 
-        def error(points: np.ndarray) -> np.ndarray:
-            lat = self.transform(points)
-            diff = lat - target[None, :]
-            return np.sum(diff * diff, axis=1)
+        diff = self.transform(points) - z
+        best_err = np.sum(diff * diff, axis=1)
 
-        # Small steps keep the pre-image close to the seed: of the many
-        # inputs mapping near ``target`` (the map is non-injective), we
+        # Small steps keep each pre-image close to its seed: of the many
+        # inputs mapping near a target (the map is non-injective), we
         # want the minimum-movement one, so that nearby latents decode to
         # nearby configurations and BO can exploit locally.
-        best_err = float(error(point[None, :])[0])
-        step = 0.08
-        for _ in range(max(n_sweeps, 10)):
-            trials = np.repeat(point[None, :], 2 * d, axis=0)
-            rows = np.arange(d)
-            trials[rows, rows] = np.clip(trials[rows, rows] + step, 0.0, 1.0)
-            trials[d + rows, rows] = np.clip(trials[d + rows, rows] - step, 0.0, 1.0)
-            errs = error(trials)
-            top = int(np.argmin(errs))
-            if errs[top] < best_err - 1e-12:
-                point = trials[top].copy()
-                best_err = float(errs[top])
-            else:
-                step *= 0.5
-                if step < 0.005:
-                    break
-        return point
+        steps = np.full(n_rows, 0.08)
+        active = np.ones(n_rows, dtype=bool)
+        rows = np.arange(d)
+        for _ in range(max(n_iterations, 10)):
+            act = np.flatnonzero(active)
+            if act.size == 0:
+                break
+            base = points[act]
+            trials = np.repeat(base[:, None, :], 2 * d, axis=1)  # (a, 2d, d)
+            trials[:, rows, rows] = np.clip(base[:, rows] + steps[act, None], 0.0, 1.0)
+            trials[:, d + rows, rows] = np.clip(base[:, rows] - steps[act, None], 0.0, 1.0)
+            lat = self.transform(trials.reshape(-1, d)).reshape(act.size, 2 * d, -1)
+            diff = lat - z[act, None, :]
+            errs = np.einsum("abk,abk->ab", diff, diff)
+            top = np.argmin(errs, axis=1)
+            top_errs = errs[np.arange(act.size), top]
+            improved = top_errs < best_err[act] - 1e-12
+            moved = act[improved]
+            points[moved] = trials[improved, top[improved]]
+            best_err[moved] = top_errs[improved]
+            stalled = act[~improved]
+            steps[stalled] *= 0.5
+            active[stalled[steps[stalled] < 0.005]] = False
+        return np.clip(points, 0.0, 1.0)

@@ -38,6 +38,7 @@ TUNER_KEYS = frozenset(
         "n_qcsa", "n_iicp", "scc_threshold", "kernel", "explained_variance",
         "min_iterations", "max_iterations", "ei_threshold", "n_mcmc",
         "refit_interval", "use_qcsa", "use_iicp", "use_dagp", "use_polish",
+        "n_workers",
     }
 )
 
@@ -68,6 +69,23 @@ class AppSession:
     def locat(self) -> LOCAT:
         return self.controller.locat
 
+    def planned_slots(self, datasize_gb: float) -> int:
+        """Scheduler-slot footprint of an observe at this datasize.
+
+        Reserve the session's full evaluation parallelism only when the
+        controller predicts a tuning session
+        (:meth:`~repro.core.online.OnlineController.would_retune`).
+        Routine steady-state observes record a run and check drift
+        without any evaluations, so they take one slot — reserving
+        ``n_workers`` for them would serialize cross-tenant throughput
+        on work with zero parallelism.  A *drift*-triggered retune is
+        not predictable here and transiently exceeds its 1-slot
+        reservation, bounded by ``n_workers - 1`` extra threads.
+        """
+        if self.controller.would_retune(datasize_gb):
+            return self.locat.n_workers
+        return 1
+
     def status(self) -> dict:
         """JSON-safe snapshot served by ``GET /apps/<id>``."""
         locat = self.locat
@@ -78,6 +96,7 @@ class AppSession:
             "bootstrapped": locat.is_bootstrapped,
             "deployed": self.controller.is_deployed,
             "restored": self.restored,
+            "eval_workers": locat.n_workers,
             "evaluations": locat.objective.n_evaluations,
             "overhead_hours": locat.objective.overhead_hours,
             "observations_persisted": self.persisted_observations,
@@ -90,8 +109,25 @@ class AppSession:
 class TuningRegistry:
     """Registers, rehydrates, and drives the tenant sessions."""
 
-    def __init__(self, store: HistoryStore, rehydrate: bool = True):
+    def __init__(
+        self,
+        store: HistoryStore,
+        rehydrate: bool = True,
+        default_eval_workers: int = 1,
+        max_eval_workers: int | None = None,
+    ):
+        if default_eval_workers < 1:
+            raise ValueError("default_eval_workers must be at least 1")
+        if max_eval_workers is not None and max_eval_workers < 1:
+            raise ValueError("max_eval_workers must be at least 1")
         self.store = store
+        #: Evaluation parallelism given to sessions whose tenants did not
+        #: set ``tuner.n_workers`` themselves (service-level default).
+        self.default_eval_workers = int(default_eval_workers)
+        #: Operator-set ceiling on any session's evaluation parallelism.
+        #: Tenant overrides are clamped to it, so no tenant can demand
+        #: more concurrency than the machine was provisioned for.
+        self.max_eval_workers = None if max_eval_workers is None else int(max_eval_workers)
         self._sessions: dict[str, AppSession] = {}
         self._lock = threading.Lock()
         if rehydrate:
@@ -119,6 +155,12 @@ class TuningRegistry:
         controller = dict(controller or {})
         if not TUNER_KEYS.issuperset(tuner):
             raise ValueError(f"unknown tuner settings: {sorted(set(tuner) - TUNER_KEYS)}")
+        if "n_workers" in tuner:
+            n_workers = tuner["n_workers"]
+            if not isinstance(n_workers, int) or isinstance(n_workers, bool) or n_workers < 1:
+                raise ValueError(
+                    f"tuner.n_workers must be a positive integer, got {n_workers!r}"
+                )
         if not CONTROLLER_KEYS.issuperset(controller):
             raise ValueError(
                 f"unknown controller settings: {sorted(set(controller) - CONTROLLER_KEYS)}"
@@ -157,7 +199,13 @@ class TuningRegistry:
     def _build_session(self, app_id: str, meta: dict) -> AppSession:
         simulator = SparkSQLSimulator(get_cluster(meta["cluster"]))
         app = get_application(meta["benchmark"])
-        locat = LOCAT(simulator, app, rng=int(meta.get("seed", 1)), **meta.get("tuner", {}))
+        tuner_kwargs = dict(meta.get("tuner", {}))
+        tuner_kwargs.setdefault("n_workers", self.default_eval_workers)
+        if self.max_eval_workers is not None:
+            tuner_kwargs["n_workers"] = min(
+                int(tuner_kwargs["n_workers"]), self.max_eval_workers
+            )
+        locat = LOCAT(simulator, app, rng=int(meta.get("seed", 1)), **tuner_kwargs)
         online = OnlineController(locat, **meta.get("controller", {}))
         return AppSession(
             app_id=app_id,

@@ -31,12 +31,20 @@ STATUS_FAILED = "failed"
 
 @dataclass
 class Job:
-    """One unit of work bound to an application."""
+    """One unit of work bound to an application.
+
+    ``slots`` is the job's evaluation-parallelism footprint: a tuning
+    session running with ``n_workers`` parallel evaluators occupies that
+    many of the scheduler's slots while it runs, so concurrent tenants
+    cannot oversubscribe the machine.
+    """
 
     job_id: str
     app_id: str
     kind: str
     fn: Callable[[], Any] | None  # cleared on completion to free the closure
+    slots: int = 1
+    seq: int = 0  # monotone submission number (admission ordering)
     status: str = STATUS_QUEUED
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
@@ -58,6 +66,7 @@ class Job:
             "job_id": self.job_id,
             "app_id": self.app_id,
             "kind": self.kind,
+            "slots": self.slots,
             "status": self.status,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -75,12 +84,23 @@ class JobScheduler:
     to 404).
     """
 
-    def __init__(self, n_workers: int = 4, max_finished: int = 1000):
+    def __init__(self, n_workers: int = 4, max_finished: int = 1000, total_slots: int | None = None):
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         if max_finished < 1:
             raise ValueError("max_finished must be at least 1")
+        if total_slots is not None and total_slots < 1:
+            raise ValueError("total_slots must be at least 1")
         self.max_finished = max_finished
+        #: Evaluation-thread budget shared by all running jobs.  A job
+        #: declaring ``slots=k`` (a tuning session with k parallel
+        #: evaluators) is only admitted while the budget holds, except
+        #: when nothing runs at all — an oversized job then runs alone
+        #: rather than deadlocking.  Defaults to ``n_workers``, which
+        #: with the default 1-slot jobs reproduces plain worker-count
+        #: admission.
+        self.total_slots = int(total_slots) if total_slots is not None else int(n_workers)
+        self._slots_used = 0
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._queues: dict[str, deque[Job]] = {}
@@ -99,12 +119,29 @@ class JobScheduler:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def submit(self, app_id: str, fn: Callable[[], Any], kind: str = "job") -> Job:
-        """Queue ``fn`` behind any earlier jobs of the same application."""
+    def submit(
+        self, app_id: str, fn: Callable[[], Any], kind: str = "job", slots: int = 1
+    ) -> Job:
+        """Queue ``fn`` behind any earlier jobs of the same application.
+
+        ``slots`` declares the job's evaluation-parallelism footprint
+        (see :class:`Job`); heavier jobs wait until enough of the slot
+        budget is free.
+        """
+        if slots < 1:
+            raise ValueError("slots must be at least 1")
         with self._cond:
             if self._shutdown:
                 raise RuntimeError("scheduler is shut down")
-            job = Job(job_id=f"job-{next(self._counter):06d}", app_id=app_id, kind=kind, fn=fn)
+            number = next(self._counter)
+            job = Job(
+                job_id=f"job-{number:06d}",
+                app_id=app_id,
+                kind=kind,
+                fn=fn,
+                slots=int(slots),
+                seq=number,
+            )
             self._jobs[job.job_id] = job
             self._queues.setdefault(app_id, deque()).append(job)
             self._cond.notify_all()
@@ -161,11 +198,26 @@ class JobScheduler:
             self._jobs.pop(self._finished.popleft(), None)
 
     def _next_job_locked(self) -> Job | None:
-        for app_id, queue in self._queues.items():
-            if queue and app_id not in self._busy:
-                self._busy.add(app_id)
-                return queue.popleft()
-        return None
+        # Runnable queue heads, oldest submission first.  Admission stops
+        # at the first head that does not fit the slot budget: younger
+        # jobs may not overtake it, so a heavy job waiting for slots is
+        # guaranteed to get them once running work drains — a steady
+        # stream of 1-slot jobs cannot starve it.  An oversized head
+        # still runs once nothing else does, rather than deadlocking.
+        heads = [
+            queue[0] for app_id, queue in self._queues.items()
+            if queue and app_id not in self._busy
+        ]
+        if not heads:
+            return None
+        job = min(heads, key=lambda j: j.seq)
+        fits = self._slots_used + job.slots <= self.total_slots
+        if not fits and self._slots_used > 0:
+            return None  # reserve: drain before admitting younger jobs
+        self._busy.add(job.app_id)
+        self._slots_used += job.slots
+        self._queues[job.app_id].popleft()
+        return job
 
     def _worker(self) -> None:
         while True:
@@ -192,5 +244,6 @@ class JobScheduler:
                 job.status = STATUS_FAILED if error else STATUS_DONE
                 job.finished_at = time.time()
                 self._busy.discard(job.app_id)
+                self._slots_used -= job.slots
                 self._finish_locked(job)
                 self._cond.notify_all()

@@ -80,11 +80,25 @@ class TuningService:
         host: str = "127.0.0.1",
         port: int = 8080,
         n_workers: int = 4,
+        eval_workers: int = 1,
         rehydrate: bool = True,
     ):
+        """``n_workers`` bounds concurrent tuning jobs across tenants;
+        ``eval_workers`` is the per-session evaluation parallelism given
+        to tenants that do not set ``tuner.n_workers`` themselves.  The
+        scheduler's slot budget is ``n_workers * eval_workers`` and
+        tenant ``tuner.n_workers`` overrides are clamped to it, so the
+        machine never runs more evaluations at once than the operator
+        provisioned."""
+        total_slots = n_workers * max(int(eval_workers), 1)
         self.store = HistoryStore(store_dir)
-        self.registry = TuningRegistry(self.store, rehydrate=rehydrate)
-        self.scheduler = JobScheduler(n_workers=n_workers)
+        self.registry = TuningRegistry(
+            self.store,
+            rehydrate=rehydrate,
+            default_eval_workers=eval_workers,
+            max_eval_workers=total_slots,
+        )
+        self.scheduler = JobScheduler(n_workers=n_workers, total_slots=total_slots)
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = self  # type: ignore[attr-defined]
@@ -251,16 +265,22 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _observe(self, app_id: str, body: dict) -> None:
         registry = self.service.registry
-        registry.get(app_id)  # 404 before queueing anything
+        session = registry.get(app_id)  # 404 before queueing anything
         if "datasize_gb" not in body:
             raise _HTTPError(400, "missing required field 'datasize_gb'")
-        datasize_gb = float(body["datasize_gb"])
-        duration_s = body.get("duration_s")
-        duration_s = None if duration_s is None else float(duration_s)
+        try:
+            datasize_gb = float(body["datasize_gb"])
+            duration_s = body.get("duration_s")
+            duration_s = None if duration_s is None else float(duration_s)
+        except (TypeError, ValueError) as exc:
+            # null/array/object JSON values raise TypeError; reject them
+            # up front like any other bad input instead of failing a job.
+            raise _HTTPError(400, f"datasize_gb/duration_s must be numbers: {exc}") from None
         job = self.service.scheduler.submit(
             app_id,
             lambda: registry.observe(app_id, datasize_gb, duration_s),
             kind="observe",
+            slots=session.planned_slots(datasize_gb),
         )
         if not body.get("wait", True):
             self._send_json({**job.to_json()}, status=202)

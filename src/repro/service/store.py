@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core.datasize import normalize_datasize
 from repro.core.iicp import CPSResult
 from repro.core.qcsa import QCSAResult
 
@@ -64,6 +65,10 @@ class ObservationRecord:
     def __post_init__(self) -> None:
         if self.source not in SOURCES:
             raise ValueError(f"bad source {self.source!r}; expected one of {SOURCES}")
+        # Canonicalize at the store boundary: a record written as 100 and
+        # read back as 100.0 (or sent as a string) must stay one history.
+        object.__setattr__(self, "datasize_gb", normalize_datasize(self.datasize_gb))
+        object.__setattr__(self, "duration_s", float(self.duration_s))
 
     def to_json(self) -> dict:
         return {

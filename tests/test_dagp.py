@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.dagp import DatasizeAwareGP, normalize_datasize
+from repro.core.dagp import DatasizeAwareGP, datasize_coordinate
 
 
 def synthetic_observations(rng, n=30):
@@ -16,8 +16,8 @@ def synthetic_observations(rng, n=30):
 
 class TestNormalization:
     def test_reference_is_one_tb(self):
-        assert normalize_datasize(1024.0) == pytest.approx(1.0)
-        assert normalize_datasize(512.0) == pytest.approx(0.5)
+        assert datasize_coordinate(1024.0) == pytest.approx(1.0)
+        assert datasize_coordinate(512.0) == pytest.approx(0.5)
 
 
 class TestFitPredict:

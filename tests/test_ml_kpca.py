@@ -78,6 +78,26 @@ class TestPreimage:
         points = kpca.inverse_transform(z)
         assert np.all(points >= 0) and np.all(points <= 1)
 
+    def test_batched_preimage_matches_rowwise(self, ring_data):
+        # The vectorized coordinate descent solves every row of a batch
+        # simultaneously; per-row results must be exactly what a
+        # one-row-at-a-time call produces (per-row steps and convergence
+        # are independent).
+        kpca = KernelPCA(n_components=3).fit(ring_data)
+        low, high = kpca.latent_bounds()
+        rng = np.random.default_rng(7)
+        z = low + rng.random((9, 3)) * (high - low)
+        batched = kpca.inverse_transform(z)
+        rowwise = np.vstack([kpca.inverse_transform(z[i : i + 1]) for i in range(len(z))])
+        np.testing.assert_array_equal(batched, rowwise)
+
+    def test_train_latents_cached_at_fit(self, ring_data):
+        kpca = KernelPCA(n_components=2).fit(ring_data)
+        np.testing.assert_allclose(kpca._train_latents, kpca.transform(ring_data))
+        # latent_bounds reuses the cache instead of re-projecting.
+        low, high = kpca.latent_bounds()
+        assert np.all(low < high)
+
     def test_local_continuity(self, ring_data):
         # Nearby latents decode to nearby inputs (minimum-movement
         # pre-image) — required for BO exploitation.

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -98,9 +98,14 @@ class TestStatsProperties:
     @settings(max_examples=50)
     def test_spearman_invariant_under_monotone_transform(self, xs):
         ys = list(np.cumsum(np.abs(xs)) + 1.0)  # strictly increasing target
+        transformed_xs = [np.log1p(abs(x)) * np.sign(x) for x in xs]
+        # log1p(|x|)*sign(x) preserves order of xs — unless two nearly
+        # equal inputs collapse to one float under the compressive
+        # transform (e.g. 100.0 vs 100.0 - 1.5e-14), which changes the
+        # tie structure and legitimately changes the rank correlation.
+        assume(len(set(transformed_xs)) == len(set(xs)))
         direct = spearman(xs, ys)
-        transformed = spearman([np.log1p(abs(x)) * np.sign(x) for x in xs], ys)
-        # log1p(|x|)*sign(x) preserves order of xs.
+        transformed = spearman(transformed_xs, ys)
         assert direct == pytest.approx(transformed, abs=1e-9)
 
 

@@ -91,6 +91,28 @@ class TestHistoryStore:
         assert config_from_dict(rows[0].config) == space_x86.default()
         assert [r.duration_s for r in store.observations("app-1", source=SOURCE_TUNING)] == [42.0, 47.5]
 
+    def test_datasize_identity_survives_json_round_trip(self, tmp_path, space_x86):
+        """100 (int), 100.0 (float), and "100" (string) are one history
+        key, before and after the store's JSON round trip."""
+        store = HistoryStore(tmp_path)
+        store.register_app("app-1", {})
+        config = config_to_dict(space_x86.default())
+        store.append_many("app-1", [
+            ObservationRecord(config, 100, 42.0, SOURCE_TUNING),
+            ObservationRecord(config, 100.0, 43.0, SOURCE_TUNING),
+            ObservationRecord(config, "100", 44.0, SOURCE_TUNING),
+        ])
+        rows = store.observations("app-1")
+        sizes = {r.datasize_gb for r in rows}
+        assert sizes == {100.0}
+        assert all(isinstance(r.datasize_gb, float) for r in rows)
+        # Written records equal re-read records (identity, not just ==).
+        assert rows == [
+            ObservationRecord(config, 100.0, 42.0, SOURCE_TUNING),
+            ObservationRecord(config, 100.0, 43.0, SOURCE_TUNING),
+            ObservationRecord(config, 100.0, 44.0, SOURCE_TUNING),
+        ]
+
     def test_bad_source_rejected(self, space_x86):
         with pytest.raises(ValueError):
             ObservationRecord(config_to_dict(space_x86.default()), 1.0, 1.0, "guess")
@@ -170,6 +192,70 @@ class TestJobScheduler:
         assert after.status == "done" and after.result == "recovered"
         scheduler.shutdown()
 
+    def test_slots_bound_concurrent_evaluation_footprint(self):
+        scheduler = JobScheduler(n_workers=4, total_slots=4)
+        lock = threading.Lock()
+        running: set[str] = set()
+        overlapped = [False]
+        release = threading.Event()
+
+        def make(app):
+            def fn():
+                with lock:
+                    running.add(app)
+                    overlapped[0] = overlapped[0] or len(running) > 1
+                release.wait(5.0)
+                with lock:
+                    running.discard(app)
+            return fn
+
+        # Two 3-slot jobs (tenants tuning with n_workers=3) exceed the
+        # 4-slot budget together, so they must run one after the other.
+        first = scheduler.submit("a", make("a"), slots=3)
+        second = scheduler.submit("b", make("b"), slots=3)
+        time.sleep(0.1)
+        assert first.status == "running"
+        assert second.status == "queued"
+        release.set()
+        scheduler.wait(first.job_id, timeout=10.0)
+        scheduler.wait(second.job_id, timeout=10.0)
+        assert not overlapped[0]
+        scheduler.shutdown()
+
+    def test_small_jobs_cannot_starve_a_waiting_heavy_job(self):
+        """Admission is oldest-first with reservation: a 1-slot job
+        submitted after a non-fitting 3-slot job must wait behind it."""
+        scheduler = JobScheduler(n_workers=4, total_slots=4)
+        release = threading.Event()
+
+        heavy_running = scheduler.submit("a", lambda: release.wait(5.0), slots=3)
+        time.sleep(0.1)
+        heavy_waiting = scheduler.submit("b", lambda: "b", slots=3)
+        light = scheduler.submit("c", lambda: "c", slots=1)
+        time.sleep(0.1)
+        # 3+1 <= 4 would fit, but the older 3-slot job reserves the budget.
+        assert heavy_running.status == "running"
+        assert heavy_waiting.status == "queued"
+        assert light.status == "queued"
+        release.set()
+        for job in (heavy_running, heavy_waiting, light):
+            scheduler.wait(job.job_id, timeout=10.0)
+        scheduler.shutdown()
+
+    def test_oversized_job_runs_alone_instead_of_deadlocking(self):
+        scheduler = JobScheduler(n_workers=2, total_slots=2)
+        job = scheduler.submit("a", lambda: "done", slots=16)
+        scheduler.wait(job.job_id, timeout=10.0)
+        assert job.result == "done"
+        assert job.to_json()["slots"] == 16
+        scheduler.shutdown()
+
+    def test_invalid_slots_rejected(self):
+        scheduler = JobScheduler(n_workers=1)
+        with pytest.raises(ValueError):
+            scheduler.submit("a", lambda: None, slots=0)
+        scheduler.shutdown()
+
     def test_wait_timeout(self):
         scheduler = JobScheduler(n_workers=1)
         job = scheduler.submit("a", lambda: time.sleep(0.5))
@@ -227,6 +313,49 @@ class TestTuningRegistry:
         registry.register("app", benchmark="join", tuner=TINY_TUNER)
         with pytest.raises(ValueError):
             registry.register("app", benchmark="join")
+
+    def test_eval_workers_wiring(self, tmp_path):
+        store = HistoryStore(tmp_path / "store")
+        registry = TuningRegistry(store, default_eval_workers=2)
+        defaulted = registry.register("app-default", "scan", seed=1)
+        overridden = registry.register(
+            "app-override", "scan", seed=1, tuner={"n_workers": 4}
+        )
+        assert defaulted.locat.n_workers == 2
+        assert overridden.locat.n_workers == 4
+        assert defaulted.status()["eval_workers"] == 2
+        assert overridden.status()["eval_workers"] == 4
+        # n_workers is a persisted tuner key: a rehydrated registry with a
+        # different service default keeps the tenant's explicit choice.
+        rehydrated = TuningRegistry(HistoryStore(tmp_path / "store"))
+        assert rehydrated.get("app-override").locat.n_workers == 4
+
+    def test_tenant_n_workers_clamped_and_validated(self, tmp_path):
+        store = HistoryStore(tmp_path / "store")
+        registry = TuningRegistry(store, max_eval_workers=4)
+        greedy = registry.register("greedy", "scan", tuner={"n_workers": 64})
+        assert greedy.locat.n_workers == 4  # clamped to the operator ceiling
+        for bad in (0, -1, 2.5, True, "many"):
+            with pytest.raises(ValueError, match="n_workers"):
+                registry.register(f"bad-{bad}", "scan", tuner={"n_workers": bad})
+        # A rejected registration must not leave a half-registered app.
+        assert "bad-0" not in registry
+        assert not store.has_app("bad-0")
+
+    def test_planned_slots_reserve_parallelism_only_for_tuning(self, tmp_path):
+        registry = TuningRegistry(HistoryStore(tmp_path / "store"))
+        session = registry.register(
+            "app", "scan", seed=1,
+            tuner={**TINY_TUNER, "n_workers": 4},
+        )
+        # Before the first deployment every observe pays a tuning session.
+        assert session.planned_slots(100.0) == 4
+        registry.observe("app", 100.0)
+        # Steady state: a nearby datasize records a run, no evaluations.
+        assert session.planned_slots(100.0) == 1
+        assert session.planned_slots(110) == 1  # int within margin, same key
+        # Beyond the controller margin the observe deterministically retunes.
+        assert session.planned_slots(1000.0) == 4
 
     def test_observe_persists_run_table_and_artifacts(self, tmp_path):
         store = HistoryStore(tmp_path)
@@ -384,10 +513,28 @@ class TestServiceIntegration:
             with pytest.raises(ServiceError) as excinfo:
                 client.config("app")  # nothing deployed yet
             assert excinfo.value.status == 404
-            # A job that fails (bad datasize) surfaces as HTTP 500.
+            # A bad datasize is rejected up front (slot sizing normalizes
+            # it before anything is queued) — a 400, not a failed job.
             with pytest.raises(ServiceError) as excinfo:
                 client.observe("app", -5.0)
-            assert excinfo.value.status == 500
+            assert excinfo.value.status == 400
+            # Non-numeric JSON (null) is a 400 too, not an internal error.
+            with pytest.raises(ServiceError) as excinfo:
+                client.observe("app", None)
+            assert excinfo.value.status == 400
+            # A job that fails while running still surfaces as HTTP 500.
+            original_observe = service.registry.observe
+
+            def boom(*args, **kwargs):
+                raise RuntimeError("deliberate job failure")
+
+            service.registry.observe = boom
+            try:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.observe("app", 100.0)
+                assert excinfo.value.status == 500
+            finally:
+                service.registry.observe = original_observe
 
     def test_async_observe_and_jobs_listing(self, tmp_path):
         with TuningService(str(tmp_path), port=0, n_workers=2).start() as service:

@@ -26,6 +26,24 @@ class TestBOTrace:
         with pytest.raises(RuntimeError):
             BOTrace().best()
 
+    def test_best_unknown_datasize_raises(self):
+        """No silent fallback: a cheaper datasize's duration must never
+        masquerade as the incumbent at the requested size."""
+        trace = BOTrace()
+        trace.points = [np.array([0.1]), np.array([0.2])]
+        trace.datasizes = [100.0, 200.0]
+        trace.durations = [5.0, 1.0]
+        with pytest.raises(RuntimeError, match="no evaluations recorded at datasize"):
+            trace.best(300.0)
+
+    def test_best_accepts_int_datasize(self):
+        trace = BOTrace()
+        trace.points = [np.array([0.1])]
+        trace.datasizes = [100.0]
+        trace.durations = [5.0]
+        _, duration = trace.best(100)
+        assert duration == 5.0
+
 
 class TestBOLoop:
     def test_converges_on_quadratic(self):
@@ -102,11 +120,107 @@ class TestBOLoop:
         with pytest.raises(ValueError):
             BOLoop(dim=2, bounds=(np.zeros(2), np.zeros(2)))
 
+    def test_batch_mode_respects_budget_exactly(self):
+        batches = []
+
+        def evaluate_batch(points, ds):
+            points = np.atleast_2d(points)
+            batches.append(len(points))
+            return np.array([quadratic(p, ds) for p in points])
+
+        loop = BOLoop(dim=2, n_init=3, min_iterations=8, max_iterations=8,
+                      n_mcmc=0, ei_threshold=0.0, batch_size=3, rng=9)
+        trace = loop.minimize(quadratic, 100.0, evaluate_batch=evaluate_batch)
+        assert trace.n_evaluations == 8
+        # LHS design as one batch, then q-EI batches capped to the budget.
+        assert batches == [3, 3, 2]
+
+    def test_batch_mode_converges_on_quadratic(self):
+        def evaluate_batch(points, ds):
+            return np.array([quadratic(p, ds) for p in np.atleast_2d(points)])
+
+        loop = BOLoop(dim=2, n_init=3, min_iterations=6, max_iterations=21,
+                      n_mcmc=0, ei_threshold=0.0, batch_size=4, rng=10)
+        trace = loop.minimize(quadratic, 100.0, evaluate_batch=evaluate_batch)
+        _, duration = trace.best(100.0)
+        assert duration < 12.0  # optimum is 10
+        # One EI check per surrogate refit, several evaluations per refit.
+        assert len(trace.ei_values) < trace.n_evaluations
+
+    def test_batch_proposals_are_distinct(self):
+        """Constant-liar must push the points of one batch apart."""
+        def evaluate_batch(points, ds):
+            return np.array([quadratic(p, ds) for p in np.atleast_2d(points)])
+
+        loop = BOLoop(dim=2, n_init=4, min_iterations=4, max_iterations=12,
+                      n_mcmc=0, ei_threshold=0.0, batch_size=4, rng=11)
+        trace = loop.minimize(quadratic, 100.0, evaluate_batch=evaluate_batch)
+        batch = np.stack(trace.points[4:8])  # the first q-EI batch
+        for i in range(len(batch)):
+            for j in range(i + 1, len(batch)):
+                assert not np.allclose(batch[i], batch[j])
+
+    def test_batch_size_one_ignores_evaluate_batch(self):
+        def never(points, ds):
+            raise AssertionError("batch_size=1 must stay on the serial path")
+
+        loop = BOLoop(dim=2, n_init=3, min_iterations=3, max_iterations=5,
+                      n_mcmc=0, ei_threshold=0.0, rng=12)
+        trace = loop.minimize(quadratic, 100.0, evaluate_batch=never)
+        assert trace.n_evaluations == 5
+
     def test_small_budget_shrinks_initial_design(self):
         loop = BOLoop(dim=2, n_init=3, min_iterations=1, max_iterations=1,
                       ei_threshold=0.0, n_mcmc=0, rng=6)
         trace = loop.minimize(quadratic, 100.0)
         assert trace.n_evaluations == 1
+
+    def test_stop_rule_fires_at_min_iterations_exactly(self):
+        """Regression: the paper's rule is "at least min_iterations, then
+        stop"; the loop used ``>`` and needed min_iterations + 1 checks.
+        With an always-satisfied threshold the loop must stop at check
+        number min_iterations, i.e. after n_init + min_iterations - 1
+        evaluations."""
+        evaluations = []
+
+        def counting(point, ds):
+            evaluations.append(point)
+            return quadratic(point, ds)
+
+        loop = BOLoop(dim=2, n_init=3, min_iterations=4, max_iterations=30,
+                      n_mcmc=0, ei_threshold=1e9, rng=0)
+        trace = loop.minimize(counting, 100.0)
+        assert trace.stopped_by_ei
+        assert len(trace.ei_values) == 4  # exactly min_iterations EI checks
+        assert len(evaluations) == 3 + 4 - 1
+        assert trace.n_evaluations == 6
+
+    def test_warm_only_at_other_datasize_anchors_at_target(self):
+        """With warm data entirely at other datasizes and no initial
+        design, the loop re-measures the best warm point at the target
+        instead of leaking the cheaper datasize's incumbent."""
+        warm_points = np.random.default_rng(8).random((4, 2))
+        warm_durations = np.array([quadratic(p, 100.0) for p in warm_points])
+        calls = []
+
+        def counting(point, ds):
+            calls.append((point.copy(), ds))
+            return quadratic(point, ds)
+
+        loop = BOLoop(dim=2, n_init=0, min_iterations=2, max_iterations=4,
+                      n_mcmc=0, ei_threshold=0.0, rng=8)
+        trace = loop.minimize(
+            counting, 300.0,
+            warm_points=warm_points,
+            warm_datasizes=np.full(4, 100.0),
+            warm_durations=warm_durations,
+        )
+        best_warm = warm_points[int(np.argmin(warm_durations))]
+        first_point, first_ds = calls[0]
+        assert first_ds == 300.0
+        assert np.allclose(first_point, best_warm)
+        _, best = trace.best(300.0)
+        assert best >= 30.0  # a genuine 300 GB duration, not a 100 GB leak
 
     def test_mixed_datasize_warm_data(self):
         warm_points = np.random.default_rng(7).random((5, 2))
