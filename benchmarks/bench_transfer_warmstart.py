@@ -1,0 +1,177 @@
+"""Transfer warm-starting: how much bootstrap does a similar donor save?
+
+The paper's portability result (Figure 21) says LOCAT's importance
+structure carries across workloads.  The transfer subsystem
+(:mod:`repro.transfer`) turns that into evaluation savings: a new
+tenant registered with ``warm_start="transfer"`` borrows a similar
+tenant's persisted history and pays a reduced bootstrap.
+
+Three scenarios, all driven through the service registry (the same code
+path as ``POST /apps``):
+
+* **TPC-H -> TPC-DS** — a similar donor (fingerprint similarity ~0.75):
+  the warm-started tenant must reach the cold start's tuned duration in
+  measurably fewer evaluations;
+* **Scan -> Aggregation** — a dissimilar donor (similarity ~0.19, a
+  map-only selection workload vs a shuffle-heavy aggregation): the
+  policy must *decline* the donor and fall back to a cold start — a bad
+  transplant is worse than none;
+* **no donor at all** — an empty store: the transfer registration must
+  reproduce the cold-start trajectory bit for bit.
+"""
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.service import HistoryStore, TuningRegistry
+
+#: Reduced budgets so the three sessions per pair stay benchmark-sized.
+TUNER = {
+    "n_qcsa": 18,
+    "n_iicp": 12,
+    "max_iterations": 10,
+    "min_iterations": 4,
+    "n_mcmc": 0,
+}
+
+PAIRS = (("tpch", "tpcds"), ("scan", "aggregation"))
+
+
+def run_pair(
+    donor_bench: str, target_bench: str, datasize_gb: float = 300.0, seed: int = 1,
+    tuner: dict = TUNER,
+) -> dict:
+    """Donor session, then warm and cold target sessions; returns metrics."""
+    with tempfile.TemporaryDirectory(prefix="locat-transfer-") as root:
+        warm_store = HistoryStore(Path(root) / "warm")
+        registry = TuningRegistry(warm_store)
+        registry.register("donor", donor_bench, seed=seed, tuner=tuner)
+        donor = registry.observe("donor", datasize_gb).result
+
+        registry.register("target", target_bench, seed=seed, tuner=tuner,
+                          warm_start="transfer")
+        session = registry.get("target")
+        locat = session.locat
+        proposed = locat.transfer_from is not None
+        warm = registry.observe("target", datasize_gb).result
+
+        cold_registry = TuningRegistry(HistoryStore(Path(root) / "cold"))
+        cold_registry.register("target", target_bench, seed=seed, tuner=tuner)
+        cold = cold_registry.observe("target", datasize_gb).result
+
+        return {
+            "pair": f"{donor_bench} -> {target_bench}",
+            "donor_evaluations": donor.evaluations,
+            "proposed": proposed,
+            "similarity": locat.transfer_from.similarity if proposed else None,
+            "state": locat.transfer_state,
+            "agreement": locat.transfer_agreement,
+            "warm_evaluations": warm.evaluations,
+            "warm_best_s": warm.best_duration_s,
+            "cold_evaluations": cold.evaluations,
+            "cold_best_s": cold.best_duration_s,
+            "warm_history": [
+                t.duration_s for t in session.locat.objective.history
+            ],
+            "cold_history": [
+                t.duration_s for t in cold_registry.get("target").locat.objective.history
+            ],
+        }
+
+
+def run_no_donor(benchmark: str = "join", datasize_gb: float = 100.0, seed: int = 3) -> dict:
+    """Transfer registration on an empty store vs a plain cold start."""
+    tiny = {**TUNER, "n_qcsa": 10, "n_iicp": 8, "max_iterations": 5, "min_iterations": 2}
+    with tempfile.TemporaryDirectory(prefix="locat-transfer-") as root:
+        warm_registry = TuningRegistry(HistoryStore(Path(root) / "warm"))
+        warm_registry.register("app", benchmark, seed=seed, tuner=tiny,
+                               warm_start="transfer")
+        warm = warm_registry.observe("app", datasize_gb)
+        cold_registry = TuningRegistry(HistoryStore(Path(root) / "cold"))
+        cold_registry.register("app", benchmark, seed=seed, tuner=tiny)
+        cold = cold_registry.observe("app", datasize_gb)
+        return {
+            "plan_is_none": warm_registry.get("app").locat.transfer_from is None,
+            "identical_history": (
+                [t.duration_s for t in warm_registry.get("app").locat.objective.history]
+                == [t.duration_s for t in cold_registry.get("app").locat.objective.history]
+            ),
+            "identical_config": warm.config == cold.config,
+            "identical_best": warm.result.best_duration_s == cold.result.best_duration_s,
+        }
+
+
+def render(results: list[dict], no_donor: dict) -> str:
+    lines = ["transfer warm-start vs cold start", "-" * 72]
+    for r in results:
+        sim = "-" if r["similarity"] is None else f"{r['similarity']:.2f}"
+        agreement = "-" if r["agreement"] is None else f"{r['agreement']:.2f}"
+        saved = r["cold_evaluations"] - r["warm_evaluations"]
+        lines.append(
+            f"{r['pair']:22s} state={r['state']:8s} sim={sim:>5s} agree={agreement:>5s}\n"
+            f"{'':22s} warm {r['warm_evaluations']:3d} evals, best {r['warm_best_s']:8.1f}s\n"
+            f"{'':22s} cold {r['cold_evaluations']:3d} evals, best {r['cold_best_s']:8.1f}s"
+            f"  ({saved:+d} evals saved)"
+        )
+    lines.append(
+        "no-donor fallback:    "
+        + ("bit-for-bit cold start" if no_donor["identical_history"] else "DIVERGED")
+    )
+    return "\n".join(lines)
+
+
+def test_transfer_warmstart(run_once):
+    results = [run_pair(d, t) for d, t in PAIRS]
+    no_donor = run_once(run_no_donor)
+    print("\n" + render(results, no_donor))
+
+    similar = results[0]  # tpch -> tpcds
+    assert similar["state"] == "accepted", "a ~0.75-similar donor must be accepted"
+    # The headline claim: reach the cold start's tuned duration in
+    # measurably fewer evaluations.
+    assert similar["warm_evaluations"] < similar["cold_evaluations"]
+    assert similar["warm_best_s"] <= similar["cold_best_s"] * 1.05
+
+    dissimilar = results[1]  # scan -> aggregation
+    # A map-only scan is a bad donor for a shuffle-heavy aggregation: the
+    # fingerprint gate must decline it and the tenant must run the exact
+    # cold trajectory rather than inherit a misleading prior.
+    assert not dissimilar["proposed"] or dissimilar["state"] == "rejected"
+    assert dissimilar["warm_history"] == dissimilar["cold_history"]
+
+    assert no_donor["plan_is_none"]
+    assert no_donor["identical_history"], "no donor must mean bit-for-bit cold start"
+    assert no_donor["identical_config"] and no_donor["identical_best"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="single same-workload pair with tiny budgets; verifies the "
+        "transfer pipeline end to end (for CI)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        tiny = {"n_qcsa": 10, "n_iicp": 8, "max_iterations": 5,
+                "min_iterations": 2, "n_mcmc": 0}
+        result = run_pair("join", "join", datasize_gb=100.0, seed=3, tuner=tiny)
+        no_donor = run_no_donor()
+        print(render([result], no_donor))
+        if result["state"] != "accepted" or not no_donor["identical_history"]:
+            print("smoke FAILED", file=sys.stderr)
+            return 1
+        print("smoke ok")
+        return 0
+
+    results = [run_pair(d, t) for d, t in PAIRS]
+    no_donor = run_no_donor()
+    print(render(results, no_donor))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,14 @@ class GaussianProcess:
     times.  Hyper-parameters live in the kernel plus ``log_noise``, and
     the combined vector used by MCMC is
     ``[kernel theta..., log noise_variance]``.
+
+    ``fit`` optionally takes per-observation *extra* noise variances
+    (also in standardized units), added on top of ``noise_variance`` on
+    the covariance diagonal.  This is the heteroscedastic hook the
+    transfer prior uses: low-fidelity observations borrowed from another
+    application carry inflated noise so they shape the posterior without
+    ever outvoting the target's own data.  The extra noise is training
+    data, not a hyper-parameter — MCMC never resamples it.
     """
 
     def __init__(self, kernel: RBFKernel | Matern52Kernel, noise_variance: float = 1e-4):
@@ -36,6 +44,7 @@ class GaussianProcess:
         self._y: np.ndarray | None = None
         self._y_mean = 0.0
         self._y_std = 1.0
+        self._extra_noise: np.ndarray | None = None
         self._chol = None
         self._alpha: np.ndarray | None = None
 
@@ -50,7 +59,12 @@ class GaussianProcess:
     def n_samples(self) -> int:
         return 0 if self._x is None else self._x.shape[0]
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+    def fit(
+        self, x: np.ndarray, y: np.ndarray, extra_noise: np.ndarray | None = None
+    ) -> "GaussianProcess":
+        """Fit on (x, y); ``extra_noise`` is optional per-row additional
+        noise variance (standardized units, non-negative) added to the
+        covariance diagonal — zero rows behave exactly as before."""
         x = np.atleast_2d(np.asarray(x, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
         if x.shape[0] != y.shape[0]:
@@ -59,6 +73,13 @@ class GaussianProcess:
             raise ValueError(f"kernel expects dim {self.kernel.dim}, got {x.shape[1]}")
         if not np.all(np.isfinite(x)) or not np.all(np.isfinite(y)):
             raise ValueError("training data contains non-finite values")
+        if extra_noise is not None:
+            extra_noise = np.asarray(extra_noise, dtype=float).ravel()
+            if extra_noise.shape[0] != y.shape[0]:
+                raise ValueError("extra_noise must have one value per observation")
+            if np.any(extra_noise < 0) or not np.all(np.isfinite(extra_noise)):
+                raise ValueError("extra_noise must be finite and non-negative")
+        self._extra_noise = extra_noise
         self._x = x
         self._y_raw = y
         self._y_mean = float(np.mean(y))
@@ -74,6 +95,8 @@ class GaussianProcess:
         assert self._x is not None and self._y is not None
         k = self.kernel(self._x, self._x)
         k[np.diag_indices_from(k)] += self.noise_variance + _JITTER
+        if self._extra_noise is not None:
+            k[np.diag_indices_from(k)] += self._extra_noise
         self._chol = cho_factor(k, lower=True)
         self._alpha = cho_solve(self._chol, self._y)
 
@@ -139,6 +162,6 @@ class GaussianProcess:
         """An independent fitted copy at the given hyper-parameters."""
         gp = GaussianProcess(self.kernel.clone(), self.noise_variance)
         if self.is_fitted:
-            gp.fit(self._x, self._y_raw)
+            gp.fit(self._x, self._y_raw, extra_noise=self._extra_noise)
         gp.set_theta(np.asarray(theta, dtype=float))
         return gp

@@ -3,7 +3,8 @@
 Commands:
 
 * ``tune`` — run LOCAT on a benchmark and print (or save) the tuned
-  configuration as spark-defaults.conf;
+  configuration as spark-defaults.conf; ``--transfer-store`` warm-starts
+  from a similar application found in a tuning-service history store;
 * ``qcsa`` — standalone query-sensitivity analysis (Figure 8 style);
 * ``compare`` — LOCAT vs the four baselines on one benchmark;
 * ``simulate`` — run one configuration and print the metrics;
@@ -56,6 +57,18 @@ def build_parser() -> argparse.ArgumentParser:
         "1 (default) reproduces the serial trajectory exactly",
     )
     tune.add_argument("--output", help="write spark-defaults.conf here")
+    tune.add_argument(
+        "--transfer-store", metavar="DIR",
+        help="warm-start from a tuning-service history store: the most "
+        "similar tuned application found there donates its history and "
+        "the bootstrap shrinks to a few runs (cold start when no donor "
+        "qualifies)",
+    )
+    tune.add_argument(
+        "--transfer-donor", metavar="APP_ID",
+        help="pin the donor application instead of ranking by workload "
+        "fingerprint (requires --transfer-store)",
+    )
 
     qcsa = sub.add_parser("qcsa", help="query configuration sensitivity analysis")
     _add_common(qcsa)
@@ -88,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-session parallel evaluation workers for tenants that do not "
         "set tuner.n_workers themselves (default: 1, fully serial sessions)",
     )
+    serve.add_argument(
+        "--warm-start", default="cold", choices=("cold", "transfer"),
+        help="default bootstrap mode for registrations that do not choose "
+        "one: 'transfer' seeds new tenants from the most similar existing "
+        "tenant's history (default: cold)",
+    )
     return parser
 
 
@@ -96,14 +115,81 @@ def _make(args) -> tuple[SparkSQLSimulator, object]:
     return simulator, get_application(args.benchmark)
 
 
+def _transfer_plan(args, app):
+    """Resolve --transfer-store/--transfer-donor into a TransferPlan."""
+    import os
+
+    from repro.service import HistoryStore
+    from repro.transfer import (
+        WorkloadFingerprint,
+        build_transfer_plan,
+        donor_candidate,
+        select_donor,
+    )
+
+    # HistoryStore creates its root; a mistyped path would silently
+    # become an empty store and a cold start.  Reading requires the
+    # directory to already exist.
+    if not os.path.isdir(args.transfer_store):
+        raise ValueError(f"--transfer-store {args.transfer_store!r} is not a directory")
+    store = HistoryStore(args.transfer_store)
+    fingerprint = WorkloadFingerprint.from_application(app, benchmark=args.benchmark)
+    if args.transfer_donor:
+        # A pinned donor skips the similarity ranking *and* the default
+        # observation floor — the operator vouched for it; it still needs
+        # persisted artifacts and at least one tuning row.
+        candidate = donor_candidate(
+            store, fingerprint, args.transfer_donor, min_observations=1
+        )
+        if candidate is None:
+            raise ValueError(
+                f"donor {args.transfer_donor!r} not usable from {args.transfer_store}: "
+                "not registered there, never bootstrapped (no persisted CPS "
+                "artifacts), or no tuning observations"
+            )
+    else:
+        candidate = select_donor(store, fingerprint)
+    if candidate is None:
+        print("no sufficiently similar donor in the store; starting cold")
+        return None
+    print(
+        f"transfer warm start from {candidate.app_id!r} "
+        f"({candidate.benchmark}, fingerprint similarity {candidate.similarity:.2f}, "
+        f"{candidate.n_observations} donor observations)"
+    )
+    if args.transfer_donor:
+        # The pin also waives the similarity gate inside the plan — the
+        # operator overrode the fingerprint ranking on purpose.  The CPS
+        # agreement gate still applies: it is measured from the target's
+        # own bootstrap samples, not from the ranking.
+        return build_transfer_plan(store, candidate, min_similarity=0.0)
+    return build_transfer_plan(store, candidate)
+
+
 def cmd_tune(args) -> int:
     simulator, app = _make(args)
+    if args.transfer_donor and not args.transfer_store:
+        print("--transfer-donor requires --transfer-store", file=sys.stderr)
+        return 2
+    plan = None
+    if args.transfer_store:
+        try:
+            plan = _transfer_plan(args, app)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     print(f"Tuning {app.name} at {args.datasize:.0f} GB on the {args.cluster} cluster...")
     locat = LOCAT(
         simulator, app, rng=args.seed, max_iterations=args.iterations,
-        n_workers=args.workers,
+        n_workers=args.workers, transfer_from=plan,
     )
     result = locat.tune(args.datasize)
+    if plan is not None:
+        print(
+            f"transfer {locat.transfer_state}: CPS agreement "
+            f"{locat.transfer_agreement:.2f}, refined similarity "
+            f"{locat.transfer_similarity:.2f}"
+        )
     print(result.summary())
 
     changed = diff_configs(simulator.space.default(), result.best_config)
@@ -206,7 +292,7 @@ def cmd_serve(args) -> int:
 
     service = TuningService(
         args.store, host=args.host, port=args.port, n_workers=args.workers,
-        eval_workers=args.eval_workers,
+        eval_workers=args.eval_workers, default_warm_start=args.warm_start,
     )
     rehydrated = service.registry.app_ids()
     print(f"tuning service listening on {service.url} (store: {args.store})")

@@ -10,6 +10,18 @@ avoid re-tuning when the input data grows.
 Execution times are modelled in log space: the simulator's (and real
 Spark's) response surface is multiplicative (penalties compound), and a
 log-space GP is far better calibrated on such targets.
+
+Cross-application transfer extends the same idea one axis further: when
+``fit`` receives per-observation *fidelities*, the GP input gains a
+fidelity coordinate (0 for the target application's own observations, 1
+for observations transplanted from a donor tenant) and donor rows get
+inflated observation noise.  Distance along the fidelity axis lets the
+kernel absorb the systematic bias between the two applications exactly
+as the datasize coordinate absorbs size effects, while the extra noise
+keeps donor rows advisory — predictions and acquisition always query at
+fidelity 0, so the target's own observations dominate wherever they
+exist.  With no fidelities (or all zeros) the model is bit-for-bit the
+pre-transfer DAGP.
 """
 
 from __future__ import annotations
@@ -24,6 +36,13 @@ from repro.stats.sampling import ensure_rng
 
 #: Datasize normalization reference: 1 TB, the largest size the paper uses.
 DATASIZE_REFERENCE_GB = 1024.0
+
+#: Extra observation-noise variance (standardized log-duration units) a
+#: fidelity-1 (donor) row carries.  Standardized targets have unit
+#: variance, so 0.5 makes a donor observation worth roughly "one soft
+#: hint": enough to shape the prior where the target has no data, never
+#: enough to outvote a real observation nearby.
+TRANSFER_NOISE_VARIANCE = 0.5
 
 
 def datasize_coordinate(datasize_gb: float | np.ndarray) -> np.ndarray:
@@ -43,17 +62,29 @@ class DatasizeAwareGP:
     disables marginalization and uses the current point estimate).
     """
 
-    def __init__(self, config_dim: int, n_mcmc: int = 8, noise_variance: float = 1e-3):
+    def __init__(
+        self,
+        config_dim: int,
+        n_mcmc: int = 8,
+        noise_variance: float = 1e-3,
+        transfer_noise_variance: float = TRANSFER_NOISE_VARIANCE,
+    ):
         if config_dim <= 0:
             raise ValueError("config_dim must be positive")
+        if transfer_noise_variance < 0:
+            raise ValueError("transfer_noise_variance must be non-negative")
         self.config_dim = config_dim
         self.n_mcmc = n_mcmc
+        self.noise_variance = float(noise_variance)
+        self.transfer_noise_variance = float(transfer_noise_variance)
         kernel = Matern52Kernel(dim=config_dim + 1, lengthscale=0.5)
         self.gp = GaussianProcess(kernel, noise_variance=noise_variance)
         self._x: np.ndarray | None = None
         self._log_t: np.ndarray | None = None
         self._theta_samples: list[np.ndarray] = []
         self._models: list[GaussianProcess] = []
+        #: True when the fitted inputs carry the transfer fidelity column.
+        self._with_fidelity = False
 
     # ------------------------------------------------------------------
     # Training
@@ -72,17 +103,47 @@ class DatasizeAwareGP:
         datasizes_gb: np.ndarray,
         durations_s: np.ndarray,
         rng: int | np.random.Generator | None = None,
+        fidelities: np.ndarray | None = None,
     ) -> "DatasizeAwareGP":
-        """Fit on X_E = {conf, ds} with targets log(t) (equations (8)-(10))."""
+        """Fit on X_E = {conf, ds} with targets log(t) (equations (8)-(10)).
+
+        ``fidelities`` (optional, one value per observation, 0 = the
+        target application's own data, 1 = transplanted donor data)
+        switches on the transfer extension: the GP input gains a
+        fidelity coordinate and each row's observation noise is
+        inflated by ``transfer_noise_variance * fidelity``.  ``None``
+        or all-zero fidelities reproduce the plain DAGP exactly.
+        """
         durations = np.asarray(durations_s, dtype=float).ravel()
         if np.any(durations <= 0):
             raise ValueError("durations must be positive")
         x = self._join(config_points, datasizes_gb)
         if x.shape[1] != self.config_dim + 1:
             raise ValueError(f"expected config dim {self.config_dim}, got {x.shape[1] - 1}")
+
+        extra_noise = None
+        if fidelities is not None:
+            fidelities = np.asarray(fidelities, dtype=float).ravel()
+            if fidelities.shape[0] != x.shape[0]:
+                raise ValueError("fidelities must have one value per observation")
+            if np.any(fidelities < 0):
+                raise ValueError("fidelities must be non-negative")
+        with_fidelity = fidelities is not None and bool(np.any(fidelities > 0))
+        if with_fidelity != self._with_fidelity:
+            # (Re)build the kernel at the right input dimension; fidelity
+            # adds one coordinate next to the datasize column.
+            dim = self.config_dim + (2 if with_fidelity else 1)
+            self.gp = GaussianProcess(
+                Matern52Kernel(dim=dim, lengthscale=0.5), noise_variance=self.noise_variance
+            )
+            self._with_fidelity = with_fidelity
+        if with_fidelity:
+            x = np.hstack([x, fidelities[:, None]])
+            extra_noise = self.transfer_noise_variance * fidelities
+
         self._x = x
         self._log_t = np.log(durations)
-        self.gp.fit(x, self._log_t)
+        self.gp.fit(x, self._log_t, extra_noise=extra_noise)
         if self.n_mcmc > 0 and x.shape[0] >= 4:
             self._theta_samples = slice_sample_hyperparameters(
                 self.gp, n_samples=self.n_mcmc, rng=ensure_rng(rng)
@@ -113,6 +174,9 @@ class DatasizeAwareGP:
         config_points = np.atleast_2d(np.asarray(config_points, dtype=float))
         ds = np.full(config_points.shape[0], float(datasize_gb))
         x = self._join(config_points, ds)
+        if self._with_fidelity:
+            # Queries are always about the target application itself.
+            x = np.hstack([x, np.zeros((x.shape[0], 1))])
         return self.gp.predict(x)
 
     def predict_duration(self, config_points: np.ndarray, datasize_gb: float) -> np.ndarray:
@@ -139,6 +203,8 @@ class DatasizeAwareGP:
         config_points = np.atleast_2d(np.asarray(config_points, dtype=float))
         ds = np.full(config_points.shape[0], float(datasize_gb))
         x = self._join(config_points, ds)
+        if self._with_fidelity:
+            x = np.hstack([x, np.zeros((x.shape[0], 1))])  # query at own fidelity
         best_log = float(np.log(max(best_duration_s, 1e-9)))
 
         if not self._models:

@@ -11,6 +11,19 @@ from half its data and the EI incumbent can anchor on the wrong subset.
 :func:`normalize_datasize` is the single canonicalization point: every
 store/compare boundary converts through it, so two datasizes are the
 same history key if and only if their normalized floats are equal.
+
+The boundary contract: a layer normalizes exactly once, where a
+datasize *enters* it, and may compare with ``==`` afterwards.  The
+boundaries that normalize today are ``execute_trial`` and
+``EvalRequest`` (objective/parallel), ``BOLoop.minimize`` and
+``BOTrace.best`` (tuner), ``LOCAT.tune``/``bootstrap``/``restore``
+(orchestrator, including transplanted donor observations),
+``OnlineController.observe``/``would_retune``/``restore_state``
+(online), and ``ObservationRecord`` (the service store, so JSON round
+trips through ``runs.jsonl`` cannot fork a history).  Everything
+in between passes already-normalized floats.  Note the distinction
+from :func:`repro.core.dagp.datasize_coordinate`, which is the GP's
+*feature scaling* of an already-normalized datasize, not its identity.
 """
 
 from __future__ import annotations

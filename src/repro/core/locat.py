@@ -26,6 +26,19 @@ warm-start step 4 from the full observation history — the DAGP models
 ``t = f(conf, ds)``, so knowledge transfers across datasizes and the
 expensive bootstrap is paid only once.  Ablation switches: ``use_qcsa``,
 ``use_iicp``, ``use_dagp`` (the last disables cross-datasize transfer).
+
+**Cross-application transfer** (``transfer_from=``): given a
+:class:`~repro.transfer.donor.TransferPlan` built from a similar
+tenant's persisted history, step 1 shrinks to ``n_transfer_bootstrap``
+runs — just enough for QCSA and a provisional CPS.  The donor's
+importance profile is then checked against the provisional one
+(:func:`~repro.transfer.donor.cps_agreement`) and the refined workload
+fingerprint re-scored; on acceptance the donor's CPS selection is
+merged in and its observations enter step 4 as a bias-corrected,
+low-fidelity GP prior (fidelity column + inflated noise, see
+:mod:`repro.core.dagp`), on rejection the bootstrap completes to the
+full ``n_qcsa`` cold budget.  ``transfer_from=None`` is bit-for-bit the
+cold start.
 """
 
 from __future__ import annotations
@@ -35,7 +48,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.datasize import normalize_datasize
-from repro.core.iicp import DEFAULT_N_IICP, IICP, IICPResult, run_cpe
+from repro.core.iicp import CPSResult, DEFAULT_N_IICP, IICP, IICPResult, run_cpe, run_cps
 from repro.core.objective import SparkSQLObjective, Trial
 from repro.core.parallel import EvalRequest, ParallelEvaluator
 from repro.core.qcsa import DEFAULT_N_QCSA, QCSAResult, analyze_samples
@@ -45,6 +58,12 @@ from repro.sparksim.configspace import Configuration
 from repro.sparksim.engine import SparkSQLSimulator
 from repro.sparksim.query import Application
 from repro.stats.sampling import ensure_rng
+from repro.transfer.donor import TransferPlan, cps_agreement
+from repro.transfer.fingerprint import WorkloadFingerprint, fingerprint_similarity
+
+#: Bootstrap budget of a transfer warm start: enough full-application
+#: runs for QCSA CVs and a provisional CPS, a fraction of DEFAULT_N_QCSA.
+DEFAULT_N_TRANSFER_BOOTSTRAP = 8
 
 
 @dataclass
@@ -80,6 +99,8 @@ class LOCAT:
         use_dagp: bool = True,
         use_polish: bool = True,
         n_workers: int = 1,
+        transfer_from: TransferPlan | None = None,
+        n_transfer_bootstrap: int = DEFAULT_N_TRANSFER_BOOTSTRAP,
         rng: int | np.random.Generator | None = None,
     ):
         self.simulator = simulator
@@ -99,6 +120,15 @@ class LOCAT:
         self.use_dagp = use_dagp
         self.use_polish = use_polish
         self.n_workers = int(n_workers)
+        self.transfer_from = transfer_from
+        self.n_transfer_bootstrap = int(n_transfer_bootstrap)
+        #: Bias-corrected donor observations (never persisted, never in
+        #: :attr:`observation_history`); filled by a transfer bootstrap.
+        self._transfer_observations: list[_Observation] = []
+        self._transfer_anchor_measured = False
+        self.transfer_accepted: bool | None = None
+        self.transfer_agreement: float | None = None
+        self.transfer_similarity: float | None = None
         self.rng = ensure_rng(rng)
 
         self.objective = SparkSQLObjective(simulator, app, rng=self.rng)
@@ -124,20 +154,25 @@ class LOCAT:
             return list(self.qcsa_result.csq)
         return self.app.query_names
 
-    def bootstrap(self, datasize_gb: float) -> None:
-        """Collect the initial full-application samples and run QCSA/IICP.
+    @property
+    def transfer_state(self) -> str:
+        """``none`` | ``pending`` | ``accepted`` | ``rejected``."""
+        if self.transfer_from is None:
+            return "none"
+        if self.transfer_accepted is None:
+            return "pending"
+        return "accepted" if self.transfer_accepted else "rejected"
 
-        Following the paper (sections 5.1, 5.3), the N_QCSA samples are
-        the executions performed by the BO iterations themselves — a
-        small LHS design followed by full-space BO.  Because BO starts
-        exploiting after a handful of runs, the samples get cheaper as
-        the bootstrap proceeds, which is what keeps LOCAT's total
-        optimization time an order of magnitude below approaches that
-        collect large random corpora.
+    def _collect_bootstrap_samples(
+        self, datasize_gb: float, n_iterations: int, warm_trials: list[Trial] | None = None
+    ) -> list[Trial]:
+        """Run ``n_iterations`` full-application bootstrap samples.
+
+        A small LHS design followed by full-space BO, exactly the cold
+        bootstrap's sampling loop; ``warm_trials`` seeds the surrogate
+        when a rejected transfer completes an already-started bootstrap.
+        Returns the objective's full trial history.
         """
-        if self.is_bootstrapped:
-            return
-        datasize_gb = normalize_datasize(datasize_gb)
         space = self.objective.space
 
         def evaluate(point: np.ndarray, ds: float) -> float:
@@ -148,11 +183,18 @@ class LOCAT:
             trials = self.evaluator.run_batch(requests)
             return np.array([t.duration_s for t in trials])
 
+        warm_kwargs = {}
+        if warm_trials:
+            warm_kwargs = dict(
+                warm_points=np.stack([space.encode(t.config) for t in warm_trials]),
+                warm_datasizes=np.array([t.datasize_gb for t in warm_trials]),
+                warm_durations=np.array([t.duration_s for t in warm_trials]),
+            )
         loop = BOLoop(
             dim=space.dim,
             n_init=6,
-            min_iterations=self.n_qcsa,  # no early stop during bootstrap
-            max_iterations=self.n_qcsa,
+            min_iterations=n_iterations,  # no early stop during bootstrap
+            max_iterations=n_iterations,
             ei_threshold=0.0,
             n_mcmc=min(self.n_mcmc, 4),
             n_candidates=192,
@@ -163,14 +205,42 @@ class LOCAT:
             evaluate,
             datasize_gb,
             evaluate_batch=evaluate_batch if self.n_workers > 1 else None,
+            **warm_kwargs,
         )
-        bootstrap_trials = list(self.objective.history)
+        return list(self.objective.history)
 
-        samples = {q: [] for q in self.app.query_names}
-        for trial in bootstrap_trials:
+    @staticmethod
+    def _qcsa_over(app: Application, trials: list[Trial]) -> QCSAResult:
+        samples = {q: [] for q in app.query_names}
+        for trial in trials:
             for query in trial.metrics.queries:
                 samples[query.name].append(query.duration_s)
-        self.qcsa_result = analyze_samples(samples)
+        return analyze_samples(samples)
+
+    def bootstrap(self, datasize_gb: float) -> None:
+        """Collect the initial full-application samples and run QCSA/IICP.
+
+        Following the paper (sections 5.1, 5.3), the N_QCSA samples are
+        the executions performed by the BO iterations themselves — a
+        small LHS design followed by full-space BO.  Because BO starts
+        exploiting after a handful of runs, the samples get cheaper as
+        the bootstrap proceeds, which is what keeps LOCAT's total
+        optimization time an order of magnitude below approaches that
+        collect large random corpora.
+
+        With a :attr:`transfer_from` plan the budget shrinks to
+        ``n_transfer_bootstrap`` runs and the donor's history fills the
+        gap — see :meth:`_bootstrap_transfer`.
+        """
+        if self.is_bootstrapped:
+            return
+        datasize_gb = normalize_datasize(datasize_gb)
+        if self.transfer_from is not None:
+            self._bootstrap_transfer(datasize_gb)
+            return
+        bootstrap_trials = self._collect_bootstrap_samples(datasize_gb, self.n_qcsa)
+        self.qcsa_result = self._qcsa_over(self.app, bootstrap_trials)
+        space = self.objective.space
 
         iicp = IICP(
             scc_threshold=self.scc_threshold,
@@ -200,6 +270,126 @@ class LOCAT:
         ]
         # Re-extract with the Figure-10 dimension budget (about a third of
         # the original parameters) now that the CPS selection is known.
+        self._refit_cpe()
+
+    def _bootstrap_transfer(self, datasize_gb: float) -> None:
+        """Reduced bootstrap that borrows a donor tenant's history.
+
+        1. Collect only ``n_transfer_bootstrap`` full-application samples
+           (vs ``n_qcsa`` cold) — enough for QCSA CVs and a provisional
+           CPS.
+        2. Validate the donor: importance-profile agreement between the
+           provisional CPS and the donor's persisted one, plus the
+           fingerprint similarity re-scored with the dynamic
+           (seconds-per-GB) component the early samples provide.
+        3. On acceptance, merge the donor's CPS selection into the
+           target's and transplant the donor's observations as a
+           low-fidelity GP prior.  Donor durations are bias-corrected in
+           log space (their median is aligned to the median of the
+           target's own bootstrap RQA durations) so the prior carries
+           the donor's *shape* over configuration space, not its scale.
+        4. On rejection, complete the bootstrap to the full ``n_qcsa``
+           budget, warm-started from the samples already collected — the
+           tenant ends up with a normal cold bootstrap, just reordered.
+        """
+        plan = self.transfer_from
+        assert plan is not None
+        space = self.objective.space
+        n_boot = min(max(self.n_transfer_bootstrap, 4), self.n_qcsa)
+        trials = self._collect_bootstrap_samples(datasize_gb, n_boot)
+        # QCSA first: the fingerprint's dynamic part must be RQA
+        # seconds-per-GB, the same units the donor's persisted tuning
+        # rows carry — full-application rates would systematically
+        # deflate the similarity of a genuinely identical workload.
+        self.qcsa_result = self._qcsa_over(self.app, trials)
+
+        own_cps = run_cps(
+            space,
+            [t.config for t in trials],
+            [t.duration_s for t in trials],
+            threshold=self.scc_threshold,
+        )
+        self.transfer_agreement = cps_agreement(own_cps, plan.cps)
+        fingerprint = WorkloadFingerprint.from_application(self.app).with_observations(
+            [t.datasize_gb for t in trials],
+            [t.metrics.duration_of(self.csq) for t in trials],
+        )
+        self.transfer_similarity = fingerprint_similarity(fingerprint, plan.fingerprint)
+        self.transfer_accepted = (
+            self.transfer_agreement >= plan.min_agreement
+            and self.transfer_similarity >= plan.min_similarity
+        )
+
+        if self.transfer_accepted:
+            donor_selected = set(plan.cps.selected) & set(space.names)
+            keep = set(own_cps.selected) | donor_selected
+            cps = CPSResult(
+                scc=own_cps.scc,
+                selected=tuple(n for n in space.names if n in keep),
+                threshold=own_cps.threshold,
+            )
+        else:
+            remaining = self.n_qcsa - n_boot
+            if remaining > 0:
+                trials = self._collect_bootstrap_samples(
+                    datasize_gb, remaining, warm_trials=trials
+                )
+                # Re-run QCSA over the completed cold-budget sample set.
+                self.qcsa_result = self._qcsa_over(self.app, trials)
+            limit = self.n_iicp if self.n_iicp else len(trials)
+            subset = trials[:limit]
+            cps = run_cps(
+                space,
+                [t.config for t in subset],
+                [t.duration_s for t in subset],
+                threshold=self.scc_threshold,
+            )
+
+        csq = self.csq
+        self._observations = [
+            _Observation(
+                config=trial.config,
+                datasize_gb=trial.datasize_gb,
+                rqa_duration_s=max(trial.metrics.duration_of(csq), 1e-3),
+            )
+            for trial in trials
+        ]
+
+        if self.transfer_accepted:
+            # Bias correction: align the donor's median log duration to
+            # the target's, so only the donor's relative preferences —
+            # which configurations were faster than which — transfer.
+            own_median = float(np.median([np.log(o.rqa_duration_s) for o in self._observations]))
+            donor_median = float(
+                np.median([np.log(max(dur, 1e-3)) for _, _, dur in plan.observations])
+            )
+            scale = float(np.exp(own_median - donor_median))
+            self._transfer_observations = [
+                _Observation(
+                    config=config,
+                    datasize_gb=normalize_datasize(ds),
+                    rqa_duration_s=max(float(dur) * scale, 1e-3),
+                )
+                for config, ds, dur in plan.observations
+            ]
+
+        if self.use_iicp:
+            cpe = run_cpe(
+                space,
+                [o.config for o in self._observations],
+                cps,
+                kernel=self.kernel,
+                explained_variance=self.explained_variance,
+                n_components=self._latent_dim_cap(len(cps.selected)),
+            )
+            self.iicp_result = IICPResult(
+                cps=cps,
+                cpe=cpe,
+                space=space,
+                base_config=self._best_observation().config,
+            )
+        else:
+            self.iicp_result = _identity_iicp(space, IICP())
         self._refit_cpe()
 
     def _latent_dim_cap(self, n_selected: int | None = None) -> int:
@@ -460,6 +650,26 @@ class LOCAT:
                 _Observation(carry.config, datasize_gb, trial.duration_s)
             )
 
+        # An accepted transfer re-measures the donor's best configuration
+        # on the target RQA (once, in the first session after the
+        # transfer bootstrap — regardless of whether the caller invoked
+        # bootstrap() separately): one cheap run that anchors the
+        # incumbent at the donor's converged solution, so the session can
+        # never end worse than plain cross-application config reuse.  It
+        # runs after the carry above so it can never suppress the
+        # tenant's own nearest-datasize incumbent re-measurement.
+        if (
+            self.transfer_accepted
+            and self._transfer_observations
+            and not self._transfer_anchor_measured
+        ):
+            self._transfer_anchor_measured = True
+            donor_best = min(self._transfer_observations, key=lambda o: o.rqa_duration_s)
+            trial = self.objective.run_subset(donor_best.config, datasize_gb, csq)
+            self._observations.append(
+                _Observation(donor_best.config, datasize_gb, trial.duration_s)
+            )
+
         iterations_done = 0
         stopped_by_ei = False
         while iterations_done < self.max_iterations and not stopped_by_ei:
@@ -493,12 +703,23 @@ class LOCAT:
                 return np.array([t.duration_s for t in trials])
 
             if self.use_dagp:
-                warm = list(self._observations)
+                warm_own = list(self._observations)
+                # Donor observations ride along as a low-fidelity prior;
+                # they shape the surrogate but never the incumbent, the
+                # stop rule, or the persisted history.
+                transfer = list(self._transfer_observations)
             else:
-                warm = [o for o in self._observations if o.datasize_gb == datasize_gb]
+                warm_own = [o for o in self._observations if o.datasize_gb == datasize_gb]
+                transfer = []
+            warm = transfer + warm_own
             n_warm = len(warm)
             warm_points = (
                 np.stack([iicp.encode(o.config) for o in warm]) if warm else None
+            )
+            warm_fidelities = (
+                np.array([1.0] * len(transfer) + [0.0] * len(warm_own))
+                if transfer
+                else None
             )
 
             loop = BOLoop(
@@ -518,6 +739,7 @@ class LOCAT:
                 warm_points=warm_points,
                 warm_datasizes=np.array([o.datasize_gb for o in warm]) if warm else None,
                 warm_durations=np.array([o.rqa_duration_s for o in warm]) if warm else None,
+                warm_fidelities=warm_fidelities,
                 evaluate_batch=evaluate_batch if self.n_workers > 1 else None,
             )
             iterations_done += trace.n_evaluations - n_warm
@@ -571,6 +793,10 @@ class LOCAT:
                 "n_latent_dims": self.iicp_result.n_components,
                 "stopped_by_ei": stopped_by_ei,
                 "csq": list(csq),
+                "transfer": self.transfer_state,
+                "transfer_donor": (
+                    self.transfer_from.donor_app_id if self.transfer_from else None
+                ),
             },
         )
 

@@ -25,6 +25,14 @@ Failure semantics: the serial path records trials incrementally (as the
 objective always has); a concurrent batch is atomic — if any request
 raises, no trial of that batch is recorded and the first error
 propagates.
+
+Pool lifecycle: the executor is created lazily on the first concurrent
+batch and reused for the whole tuning session (per-refit startup would
+be pure waste, especially for the process backend).  :meth:`close` is
+idempotent and leaves the evaluator usable — a later batch simply
+recreates the pool — which is how :meth:`LOCAT.tune` avoids leaking
+``n_workers`` threads per tenant between the rare tuning sessions of a
+long-lived service.
 """
 
 from __future__ import annotations

@@ -17,6 +17,17 @@ q-EI and hands them to the caller as one batch — the parallel
 evaluation pipeline runs them concurrently.  ``batch_size=1`` follows
 the exact serial code path, so seeded serial trajectories are
 unchanged.
+
+Warm observations may carry a *fidelity* (``warm_fidelities``): rows at
+fidelity 0 are the caller's own observations, rows at fidelity > 0 are
+low-fidelity prior data transplanted from another application (see
+:mod:`repro.transfer`).  Donor rows inform the surrogate — the DAGP
+gains a fidelity input column — but are quarantined from every decision
+that must reflect the target application alone: the EI incumbent, the
+"covered at this datasize" checks, the constant-liar lie, and the
+returned :meth:`BOTrace.best` all consider fidelity-0 rows only.
+Omitting ``warm_fidelities`` (or passing zeros) is bit-for-bit the
+pre-transfer loop.
 """
 
 from __future__ import annotations
@@ -41,11 +52,18 @@ DEFAULT_EI_THRESHOLD = 0.1
 
 @dataclass
 class BOTrace:
-    """Everything the BO loop observed, in evaluation order."""
+    """Everything the BO loop observed, in evaluation order.
+
+    ``fidelities`` parallels ``durations``: 0.0 for the caller's own
+    observations, > 0 for low-fidelity donor rows seeded via
+    ``warm_fidelities`` (an empty list means all rows are fidelity 0 —
+    traces built before the transfer extension stay valid).
+    """
 
     points: list[np.ndarray] = field(default_factory=list)
     datasizes: list[float] = field(default_factory=list)
     durations: list[float] = field(default_factory=list)
+    fidelities: list[float] = field(default_factory=list)
     ei_values: list[float] = field(default_factory=list)
     stopped_by_ei: bool = False
 
@@ -53,17 +71,25 @@ class BOTrace:
     def n_evaluations(self) -> int:
         return len(self.durations)
 
-    def best(self, datasize_gb: float | None = None) -> tuple[np.ndarray, float]:
-        """Best (point, duration); optionally restricted to one datasize.
+    def fidelity_of(self, index: int) -> float:
+        """Fidelity of one row (0.0 when the trace carries no fidelities)."""
+        return self.fidelities[index] if index < len(self.fidelities) else 0.0
 
-        Raises when no evaluation matches ``datasize_gb`` — silently
+    def best(self, datasize_gb: float | None = None) -> tuple[np.ndarray, float]:
+        """Best own (point, duration); optionally restricted to one datasize.
+
+        Only fidelity-0 rows compete: a donor application's duration is
+        not comparable to the target's and must never anchor the EI
+        incumbent.  Raises when no own evaluation matches — silently
         widening to all datasizes would let a cheaper datasize's
         duration masquerade as the EI incumbent and trigger a spurious
         early stop (adaptation sessions warm-start from other sizes).
         """
         if not self.durations:
             raise RuntimeError("no evaluations recorded")
-        indices: list[int] | range = range(len(self.durations))
+        indices = [i for i in range(len(self.durations)) if self.fidelity_of(i) == 0.0]
+        if not indices:
+            raise RuntimeError("no own (fidelity-0) evaluations recorded")
         if datasize_gb is not None:
             datasize_gb = normalize_datasize(datasize_gb)
             indices = [i for i in indices if self.datasizes[i] == datasize_gb]
@@ -139,6 +165,7 @@ class BOLoop:
         warm_points: np.ndarray | None = None,
         warm_datasizes: np.ndarray | None = None,
         warm_durations: np.ndarray | None = None,
+        warm_fidelities: np.ndarray | None = None,
         evaluate_batch: Callable[[np.ndarray, float], np.ndarray] | None = None,
     ) -> BOTrace:
         """Run BO at ``datasize_gb``; warm data seeds the surrogate.
@@ -146,7 +173,11 @@ class BOLoop:
         ``evaluate(point, datasize)`` must return a positive duration.
         Warm observations (possibly at other datasizes — the DAGP
         transfer) count toward the surrogate but not the iteration or
-        stop-rule budget.
+        stop-rule budget.  ``warm_fidelities`` (optional, parallel to
+        the warm arrays) marks rows transplanted from a donor
+        application with values > 0: those rows inform the surrogate
+        only and never the incumbent, the stop rule, or the datasize
+        coverage checks.
 
         ``evaluate_batch(points, datasize)`` must return one duration
         per row of ``points`` and may run the rows concurrently; it is
@@ -162,23 +193,37 @@ class BOLoop:
             trace.points.append(np.asarray(point, dtype=float))
             trace.datasizes.append(datasize_gb)
             trace.durations.append(float(duration))
+            trace.fidelities.append(0.0)
 
         if warm_points is not None:
             warm_points = np.atleast_2d(np.asarray(warm_points, dtype=float))
             warm_datasizes = np.asarray(warm_datasizes, dtype=float).ravel()
             warm_durations = np.asarray(warm_durations, dtype=float).ravel()
-            if not (len(warm_points) == len(warm_datasizes) == len(warm_durations)):
+            if warm_fidelities is None:
+                warm_fidelities = np.zeros(len(warm_points))
+            else:
+                warm_fidelities = np.asarray(warm_fidelities, dtype=float).ravel()
+            if not (
+                len(warm_points) == len(warm_datasizes) == len(warm_durations)
+                == len(warm_fidelities)
+            ):
                 raise ValueError("warm arrays must have equal length")
-            for p, d, y in zip(warm_points, warm_datasizes, warm_durations):
+            for p, d, y, f in zip(warm_points, warm_datasizes, warm_durations, warm_fidelities):
                 trace.points.append(np.asarray(p, dtype=float))
                 trace.datasizes.append(normalize_datasize(d))
                 trace.durations.append(float(y))
+                trace.fidelities.append(float(f))
         n_warm = trace.n_evaluations
+        any_transfer = any(f > 0 for f in trace.fidelities)
 
-        # Initial design: LHS over the box (skipped when warm data at the
-        # target datasize already covers it).  In batch mode the whole
-        # design is one concurrent batch.
-        have_at_ds = sum(1 for d in trace.datasizes if d == datasize_gb)
+        # Initial design: LHS over the box (skipped when own warm data at
+        # the target datasize already covers it — donor rows don't count).
+        # In batch mode the whole design is one concurrent batch.
+        have_at_ds = sum(
+            1
+            for i, d in enumerate(trace.datasizes)
+            if d == datasize_gb and trace.fidelity_of(i) == 0.0
+        )
         n_init = max(0, self.n_init - have_at_ds)
         if n_init:
             init_units = latin_hypercube(n_init, self.dim, self.rng)
@@ -192,12 +237,22 @@ class BOLoop:
                     point = self._from_unit(unit)
                     observe(point, float(evaluate(point, datasize_gb)))
 
-        # The EI incumbent must live at the target datasize.  Without it
-        # (warm data entirely at other sizes and a zero-size initial
-        # design) re-measure the best warm point at the target instead of
-        # letting a cheaper datasize's duration anchor the acquisition.
-        if trace.n_evaluations and datasize_gb not in trace.datasizes:
-            best_warm = trace.points[int(np.argmin(trace.durations))]
+        # The EI incumbent must live at the target datasize.  Without an
+        # own observation there (warm data entirely at other sizes or
+        # entirely from a donor, and a zero-size initial design)
+        # re-measure the best warm point at the target instead of letting
+        # a cheaper datasize's — or another application's — duration
+        # anchor the acquisition.  Donor rows may *nominate* the point
+        # (their best config is exactly what transfer should try first)
+        # but the duration used is a fresh own measurement.
+        own_at_ds = any(
+            d == datasize_gb and trace.fidelity_of(i) == 0.0
+            for i, d in enumerate(trace.datasizes)
+        )
+        if trace.n_evaluations and not own_at_ds:
+            own = [i for i in range(trace.n_evaluations) if trace.fidelity_of(i) == 0.0]
+            candidates = own if own else list(range(trace.n_evaluations))
+            best_warm = trace.points[min(candidates, key=lambda i: trace.durations[i])]
             observe(best_warm, float(evaluate(best_warm, datasize_gb)))
 
         iterations = 0
@@ -208,6 +263,7 @@ class BOLoop:
                 np.array(trace.datasizes),
                 np.array(trace.durations),
                 rng=self.rng,
+                fidelities=np.array(trace.fidelities) if any_transfer else None,
             )
             _, best_duration = trace.best(datasize_gb)
 
@@ -269,18 +325,21 @@ class BOLoop:
         duration (CL-min), which collapses EI around them and pushes the
         batch apart.
         """
-        # The lie is computed over the durations observed at the target
-        # datasize: "min" equals the incumbent (CL-min), while "mean" and
-        # "max" genuinely differ as milder/pessimistic variants.
+        # The lie is computed over the *own* durations observed at the
+        # target datasize (donor rows are another application's scale):
+        # "min" equals the incumbent (CL-min), while "mean" and "max"
+        # genuinely differ as milder/pessimistic variants.
         at_target = [
             duration
-            for duration, ds in zip(trace.durations, trace.datasizes)
-            if ds == datasize_gb
+            for i, (duration, ds) in enumerate(zip(trace.durations, trace.datasizes))
+            if ds == datasize_gb and trace.fidelity_of(i) == 0.0
         ]
         lie = constant_liar(np.asarray(at_target), self.liar_strategy)
         unit_observed = self._to_unit(np.stack(trace.points))
         observed_ds = np.array(trace.datasizes)
         observed_durations = np.array(trace.durations)
+        observed_fidelities = np.array(trace.fidelities)
+        any_transfer = bool(np.any(observed_fidelities > 0))
 
         def score_for(pending: list[np.ndarray]) -> Callable[[np.ndarray], np.ndarray]:
             if not pending:
@@ -291,6 +350,11 @@ class BOLoop:
                 np.concatenate([observed_ds, np.full(len(pending), datasize_gb)]),
                 np.concatenate([observed_durations, np.full(len(pending), lie)]),
                 rng=self.rng,
+                fidelities=(
+                    np.concatenate([observed_fidelities, np.zeros(len(pending))])
+                    if any_transfer
+                    else None
+                ),
             )
 
             def liar_score(unit_candidates: np.ndarray) -> np.ndarray:

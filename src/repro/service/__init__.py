@@ -10,15 +10,21 @@ story needs and the in-process classes leave out:
   the bootstrap;
 * :mod:`repro.service.registry` — the multi-tenant application
   registry: one rehydratable :class:`~repro.core.online.OnlineController`
-  session per registered application;
+  session per registered application, with optional cross-application
+  transfer warm-starts (``warm_start="transfer"`` borrows the most
+  similar tenant's history via :mod:`repro.transfer`);
 * :mod:`repro.service.scheduler` — a thread-pool job scheduler running
   tuning sessions concurrently across tenants while serializing jobs
-  within each application;
+  within each application, with a *slot* budget so tenants running
+  parallel evaluations (``tuner.n_workers``) cannot oversubscribe the
+  machine;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
   stdlib-only JSON-over-HTTP API and its thin Python client.
 
 Start a service with ``python -m repro serve --store ./tuning-store``;
-see ``examples/tuning_service.py`` for an end-to-end walkthrough.
+see ``examples/tuning_service.py`` for an end-to-end walkthrough, and
+``docs/architecture.md`` / ``docs/history-store.md`` for the data flow
+and the on-disk schema.
 """
 
 from repro.service.client import ServiceError, TuningClient

@@ -61,7 +61,11 @@ class TuningClient:
         seed: int = 1,
         tuner: dict | None = None,
         controller: dict | None = None,
+        warm_start: str | None = None,
     ) -> dict:
+        """Register a tenant; ``warm_start="transfer"`` asks the service
+        to seed the first bootstrap from the most similar existing
+        tenant's history (falls back to a cold start without one)."""
         body = {
             "app_id": app_id,
             "benchmark": benchmark,
@@ -72,6 +76,8 @@ class TuningClient:
             body["tuner"] = tuner
         if controller:
             body["controller"] = controller
+        if warm_start is not None:
+            body["warm_start"] = warm_start
         return self._request("POST", "/apps", body)
 
     def list_apps(self) -> list[dict]:

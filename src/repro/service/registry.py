@@ -12,6 +12,16 @@ On construction the registry rehydrates every application found in the
 store: bootstrapped apps come back with :attr:`LOCAT.is_bootstrapped`
 already true (zero simulator runs), so a restarted service resumes
 tuning without re-paying the QCSA/IICP bootstrap.
+
+Registration may also request a **cross-application** warm start
+(``warm_start="transfer"``): the registry fingerprints the new workload,
+ranks the store's existing tenants as donors
+(:mod:`repro.transfer.donor`), and — when a sufficiently similar one
+exists — hands LOCAT a :class:`~repro.transfer.donor.TransferPlan` so
+the new tenant's bootstrap shrinks to a few runs seeded by the donor's
+history.  With no eligible donor the registration degrades to a plain
+cold start (bit for bit).  Every registration persists the workload's
+static fingerprint so later tenants can rank it as a donor.
 """
 
 from __future__ import annotations
@@ -31,6 +41,11 @@ from repro.service.store import (
 from repro.sparksim import SparkSQLSimulator, get_application, list_benchmarks
 from repro.sparksim.cluster import get_cluster
 from repro.sparksim.serialize import config_from_dict, config_to_dict
+from repro.transfer import (
+    WorkloadFingerprint,
+    build_transfer_plan,
+    select_donor,
+)
 
 #: LOCAT keyword arguments a tenant may override at registration time.
 TUNER_KEYS = frozenset(
@@ -38,12 +53,15 @@ TUNER_KEYS = frozenset(
         "n_qcsa", "n_iicp", "scc_threshold", "kernel", "explained_variance",
         "min_iterations", "max_iterations", "ei_threshold", "n_mcmc",
         "refit_interval", "use_qcsa", "use_iicp", "use_dagp", "use_polish",
-        "n_workers",
+        "n_workers", "n_transfer_bootstrap",
     }
 )
 
 #: OnlineController keyword arguments a tenant may override.
 CONTROLLER_KEYS = frozenset({"datasize_margin", "drift_factor", "drift_patience"})
+
+#: How a new tenant's first bootstrap may be seeded.
+WARM_START_MODES = ("cold", "transfer")
 
 #: Minimum persisted tuning observations for a meaningful warm start.
 MIN_RESTORE_OBSERVATIONS = 3
@@ -57,6 +75,11 @@ class AppSession:
     benchmark: str
     cluster: str
     controller: OnlineController
+    #: How the first bootstrap is seeded ("cold" or "transfer").
+    warm_start: str = "cold"
+    #: Persisted transfer outcome (donor, similarity, agreement, state)
+    #: for sessions rehydrated after their transfer bootstrap resolved.
+    transfer_provenance: dict | None = None
     lock: threading.RLock = field(default_factory=threading.RLock)
     #: Prefix of ``locat.observation_history`` already in the store.
     persisted_observations: int = 0
@@ -68,6 +91,30 @@ class AppSession:
     @property
     def locat(self) -> LOCAT:
         return self.controller.locat
+
+    def _transfer_status(self) -> dict:
+        """Live transfer info, falling back to the persisted provenance
+        for sessions rehydrated after their transfer already resolved."""
+        locat = self.locat
+        if locat.transfer_from is not None:
+            return {
+                "state": locat.transfer_state,
+                "donor": locat.transfer_from.donor_app_id,
+                "similarity": locat.transfer_from.similarity,
+                "refined_similarity": locat.transfer_similarity,
+                "agreement": locat.transfer_agreement,
+            }
+        if self.transfer_provenance is not None:
+            p = self.transfer_provenance
+            return {
+                "state": p.get("state"),
+                "donor": p.get("donor"),
+                "similarity": p.get("similarity"),
+                "refined_similarity": p.get("refined_similarity"),
+                "agreement": p.get("agreement"),
+            }
+        return {"state": locat.transfer_state, "donor": None,
+                "similarity": None, "refined_similarity": None, "agreement": None}
 
     def planned_slots(self, datasize_gb: float) -> int:
         """Scheduler-slot footprint of an observe at this datasize.
@@ -96,6 +143,8 @@ class AppSession:
             "bootstrapped": locat.is_bootstrapped,
             "deployed": self.controller.is_deployed,
             "restored": self.restored,
+            "warm_start": self.warm_start,
+            "transfer": self._transfer_status(),
             "eval_workers": locat.n_workers,
             "evaluations": locat.objective.n_evaluations,
             "overhead_hours": locat.objective.overhead_hours,
@@ -115,12 +164,20 @@ class TuningRegistry:
         rehydrate: bool = True,
         default_eval_workers: int = 1,
         max_eval_workers: int | None = None,
+        default_warm_start: str = "cold",
     ):
         if default_eval_workers < 1:
             raise ValueError("default_eval_workers must be at least 1")
         if max_eval_workers is not None and max_eval_workers < 1:
             raise ValueError("max_eval_workers must be at least 1")
+        if default_warm_start not in WARM_START_MODES:
+            raise ValueError(
+                f"default_warm_start must be one of {WARM_START_MODES}, "
+                f"got {default_warm_start!r}"
+            )
         self.store = store
+        #: Warm-start mode for registrations that do not choose one.
+        self.default_warm_start = default_warm_start
         #: Evaluation parallelism given to sessions whose tenants did not
         #: set ``tuner.n_workers`` themselves (service-level default).
         self.default_eval_workers = int(default_eval_workers)
@@ -145,22 +202,37 @@ class TuningRegistry:
         seed: int = 1,
         tuner: dict | None = None,
         controller: dict | None = None,
+        warm_start: str | None = None,
     ) -> AppSession:
-        """Register a new application and persist its metadata."""
+        """Register a new application and persist its metadata.
+
+        ``warm_start="transfer"`` asks for a cross-application warm
+        start: the best-matching existing tenant (by workload
+        fingerprint) donates its history to the new tenant's first
+        bootstrap.  Omitted, the registry's ``default_warm_start``
+        applies; with no eligible donor the registration behaves exactly
+        like ``"cold"``.
+        """
         if benchmark not in list_benchmarks():
             raise ValueError(
                 f"unknown benchmark {benchmark!r}; expected one of {list_benchmarks()}"
+            )
+        warm_start = warm_start if warm_start is not None else self.default_warm_start
+        if warm_start not in WARM_START_MODES:
+            raise ValueError(
+                f"warm_start must be one of {WARM_START_MODES}, got {warm_start!r}"
             )
         tuner = dict(tuner or {})
         controller = dict(controller or {})
         if not TUNER_KEYS.issuperset(tuner):
             raise ValueError(f"unknown tuner settings: {sorted(set(tuner) - TUNER_KEYS)}")
-        if "n_workers" in tuner:
-            n_workers = tuner["n_workers"]
-            if not isinstance(n_workers, int) or isinstance(n_workers, bool) or n_workers < 1:
-                raise ValueError(
-                    f"tuner.n_workers must be a positive integer, got {n_workers!r}"
-                )
+        for key in ("n_workers", "n_transfer_bootstrap"):
+            if key in tuner:
+                value = tuner[key]
+                if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                    raise ValueError(
+                        f"tuner.{key} must be a positive integer, got {value!r}"
+                    )
         if not CONTROLLER_KEYS.issuperset(controller):
             raise ValueError(
                 f"unknown controller settings: {sorted(set(controller) - CONTROLLER_KEYS)}"
@@ -171,12 +243,19 @@ class TuningRegistry:
             "seed": int(seed),
             "tuner": tuner,
             "controller": controller,
+            "warm_start": warm_start,
             "registered_at": time.time(),
         }
         with self._lock:
             if app_id in self._sessions:
                 raise ValueError(f"application {app_id!r} is already registered")
             self.store.register_app(app_id, meta)  # also validates app_id
+            self.store.save_fingerprint(
+                app_id,
+                WorkloadFingerprint.from_application(
+                    get_application(benchmark), benchmark=benchmark
+                ).to_json(),
+            )
             session = self._build_session(app_id, meta)
             self._sessions[app_id] = session
         return session
@@ -205,18 +284,48 @@ class TuningRegistry:
             tuner_kwargs["n_workers"] = min(
                 int(tuner_kwargs["n_workers"]), self.max_eval_workers
             )
-        locat = LOCAT(simulator, app, rng=int(meta.get("seed", 1)), **tuner_kwargs)
+        warm_start = meta.get("warm_start", "cold")
+        plan = None
+        if warm_start == "transfer" and not self.store.has_artifacts(app_id):
+            # A session with persisted artifacts will be restored from its
+            # own history instead — a donor plan would never be consumed.
+            plan = self._transfer_plan(app_id, meta["benchmark"])
+        locat = LOCAT(
+            simulator, app, rng=int(meta.get("seed", 1)), transfer_from=plan,
+            **tuner_kwargs,
+        )
         online = OnlineController(locat, **meta.get("controller", {}))
         return AppSession(
             app_id=app_id,
             benchmark=meta["benchmark"],
             cluster=meta["cluster"],
             controller=online,
+            warm_start=warm_start,
         )
+
+    def _transfer_plan(self, app_id: str, benchmark: str):
+        """Best donor's history packaged for LOCAT, or None (cold start).
+
+        Deliberately re-evaluated on every rehydration of a tenant whose
+        transfer has not resolved yet: a tenant registered when the
+        store had no eligible donor picks one up on a later restart, and
+        an unresolved tenant may be offered a better donor than the one
+        proposed before the crash.  Once the transfer bootstrap resolves
+        the outcome is pinned in ``transfer.json`` and this is no longer
+        called.
+        """
+        target = WorkloadFingerprint.from_application(
+            get_application(benchmark), benchmark=benchmark
+        )
+        candidate = select_donor(self.store, target, exclude=(app_id,))
+        if candidate is None:
+            return None
+        return build_transfer_plan(self.store, candidate)
 
     def _rehydrate(self, app_id: str) -> AppSession:
         """Rebuild one session from the store, warm-starting when possible."""
         session = self._build_session(app_id, self.store.app_meta(app_id))
+        session.transfer_provenance = self.store.load_transfer(app_id)
         qcsa, cps = self.store.load_artifacts(app_id)
         tuning_rows = self.store.observations(app_id, source=SOURCE_TUNING)
         if cps is not None and len(tuning_rows) >= MIN_RESTORE_OBSERVATIONS:
@@ -302,6 +411,26 @@ class TuningRegistry:
         if locat.is_bootstrapped and not self.store.has_artifacts(session.app_id):
             assert locat.iicp_result is not None
             self.store.save_artifacts(session.app_id, locat.qcsa_result, locat.iicp_result.cps)
+        if (
+            locat.transfer_from is not None
+            and locat.transfer_accepted is not None
+            and session.transfer_provenance is None
+        ):
+            # The transfer bootstrap resolved in this process: persist
+            # which donor seeded the tenant (GET /apps/<id> keeps
+            # reporting it after a restart, when the live plan is gone).
+            session.transfer_provenance = {
+                "state": locat.transfer_state,
+                "donor": locat.transfer_from.donor_app_id,
+                "similarity": locat.transfer_from.similarity,
+                # The value the accept/reject gate actually compared
+                # against min_similarity (ranking similarity + the
+                # dynamic seconds-per-GB component).
+                "refined_similarity": locat.transfer_similarity,
+                "agreement": locat.transfer_agreement,
+                "saved_at": now,
+            }
+            self.store.save_transfer(session.app_id, session.transfer_provenance)
         if session.controller.is_deployed:
             self.store.save_deployment(
                 session.app_id,

@@ -10,6 +10,15 @@ job gets a trackable :class:`Job` with the usual lifecycle:
 
 ``GET /jobs/<id>`` serves :meth:`Job.to_json`; a killed scheduler fails
 its queued jobs instead of leaving clients waiting forever.
+
+Beyond worker-count concurrency the scheduler enforces a **slot**
+budget: a job declares the evaluation parallelism it will use
+(``slots``, typically the session's ``n_workers``) and admission blocks
+until that many slots are free, so concurrent tenants running parallel
+evaluation pipelines cannot oversubscribe the machine.  Waiting heavy
+jobs cannot be starved by a stream of small ones (admission is ordered
+by submission number), and a job larger than the whole budget runs
+alone rather than deadlocking.
 """
 
 from __future__ import annotations

@@ -6,7 +6,10 @@ Endpoints (all request/response bodies are JSON):
     GET  /apps                    list registered applications
     POST /apps                    register: {"app_id", "benchmark",
                                   "cluster"?, "seed"?, "tuner"?,
-                                  "controller"?}
+                                  "controller"?, "warm_start"?
+                                  ("cold" | "transfer": seed the first
+                                  bootstrap from the most similar
+                                  existing tenant's history)}
     GET  /apps/<id>               session status
     POST /apps/<id>/observe       {"datasize_gb", "duration_s"?,
                                   "wait"?}; wait=false returns 202 with
@@ -82,6 +85,7 @@ class TuningService:
         n_workers: int = 4,
         eval_workers: int = 1,
         rehydrate: bool = True,
+        default_warm_start: str = "cold",
     ):
         """``n_workers`` bounds concurrent tuning jobs across tenants;
         ``eval_workers`` is the per-session evaluation parallelism given
@@ -89,7 +93,8 @@ class TuningService:
         scheduler's slot budget is ``n_workers * eval_workers`` and
         tenant ``tuner.n_workers`` overrides are clamped to it, so the
         machine never runs more evaluations at once than the operator
-        provisioned."""
+        provisioned.  ``default_warm_start`` applies to registrations
+        that do not pick a mode themselves ("cold" or "transfer")."""
         total_slots = n_workers * max(int(eval_workers), 1)
         self.store = HistoryStore(store_dir)
         self.registry = TuningRegistry(
@@ -97,6 +102,7 @@ class TuningService:
             rehydrate=rehydrate,
             default_eval_workers=eval_workers,
             max_eval_workers=total_slots,
+            default_warm_start=default_warm_start,
         )
         self.scheduler = JobScheduler(n_workers=n_workers, total_slots=total_slots)
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
@@ -257,6 +263,7 @@ class _Handler(BaseHTTPRequestHandler):
                 seed=body.get("seed", 1),
                 tuner=body.get("tuner"),
                 controller=body.get("controller"),
+                warm_start=body.get("warm_start"),
             )
         except ValueError as exc:
             status = 409 if "already registered" in str(exc) else 400

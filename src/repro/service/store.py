@@ -12,12 +12,27 @@ One directory per registered application:
     <root>/<app_id>/deployed.json   the controller's deployed state
                                     (config, tuned datasizes, drift
                                     window), rewritten after every job
+    <root>/<app_id>/fingerprint.json  the application's static workload
+                                    fingerprint, written at registration
+                                    (donor ranking for transfer
+                                    warm-starts reads it)
+    <root>/<app_id>/transfer.json   transfer-warm-start provenance
+                                    (donor, similarity, agreement,
+                                    outcome), written once after a
+                                    transfer bootstrap resolves
 
 The run table is the durable substrate everything else rebuilds from —
 the CPE/KPCA manifold and the DAGP are deliberately *not* persisted,
 because LOCAT refits both from observations anyway (see
-:meth:`repro.core.locat.LOCAT.restore`).  Appends are flushed per line,
-so a killed service loses at most the observation being written.
+:meth:`repro.core.locat.LOCAT.restore`).  Appends are flushed per line
+(and fsynced), so a killed service loses at most the observation being
+written; a torn trailing line is dropped on replay.  Every JSON
+document is written atomically (temp file + rename).  Datasizes are
+canonicalized through :func:`repro.core.datasize.normalize_datasize` at
+the record boundary, so JSON round trips cannot fork one logical
+history into two.  The full field-by-field schema, including units and
+provenance of every run-table column, is documented in
+``docs/history-store.md``.
 """
 
 from __future__ import annotations
@@ -235,6 +250,35 @@ class HistoryStore:
         qcsa = _qcsa_from_json(data["qcsa"]) if data.get("qcsa") else None
         cps = _cps_from_json(data["cps"]) if data.get("cps") else None
         return qcsa, cps
+
+    def save_fingerprint(self, app_id: str, fingerprint: dict) -> None:
+        """Persist an application's workload-fingerprint JSON."""
+        with self._lock:
+            self._write_json(self.app_dir(app_id) / "fingerprint.json", fingerprint)
+
+    def load_fingerprint(self, app_id: str) -> dict | None:
+        """The persisted fingerprint, or None for pre-fingerprint apps."""
+        path = self.app_dir(app_id) / "fingerprint.json"
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def save_transfer(self, app_id: str, provenance: dict) -> None:
+        """Persist a tenant's transfer-warm-start provenance.
+
+        Written once, after a transfer bootstrap resolves, so a
+        restarted service still knows which donor seeded the tenant and
+        whether the transplant was accepted.
+        """
+        with self._lock:
+            self._write_json(self.app_dir(app_id) / "transfer.json", provenance)
+
+    def load_transfer(self, app_id: str) -> dict | None:
+        """The persisted transfer provenance, or None (cold tenants)."""
+        path = self.app_dir(app_id) / "transfer.json"
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
 
     def save_deployment(self, app_id: str, state: dict) -> None:
         with self._lock:

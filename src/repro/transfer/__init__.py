@@ -1,0 +1,56 @@
+"""Cross-application transfer warm-starting.
+
+The PR-1 tuning service made each tenant's own history durable; this
+package makes it *reusable across tenants*.  A newly registered
+application no longer pays the full QCSA/IICP bootstrap when a similar
+tenant already exists:
+
+* :mod:`repro.transfer.fingerprint` — a workload signature
+  (:class:`WorkloadFingerprint`) computed from the application plan plus
+  early observations, with a ``[0, 1]`` similarity metric;
+* :mod:`repro.transfer.donor` — the donor-selection policy: rank the
+  history store's tenants by fingerprint similarity, validate the
+  winner by importance-profile agreement (:func:`cps_agreement`), and
+  package its history as a :class:`TransferPlan`.
+
+The plan is consumed by :class:`~repro.core.locat.LOCAT` via
+``transfer_from=``: the target runs a *reduced* bootstrap, checks the
+donor's CPS against its own provisional one, and — on acceptance —
+transplants the donor's observations into the DAGP as a low-fidelity
+prior (a fidelity input column plus inflated observation noise), so the
+target's own observations always dominate as they accumulate.  With no
+eligible donor the plan is ``None`` and the cold-start trajectory is
+reproduced bit for bit.
+
+Service integration: register a tenant with ``warm_start="transfer"``
+(HTTP ``POST /apps`` or :meth:`TuningClient.register_app`); CLI:
+``repro tune --transfer-store DIR`` and ``repro serve --warm-start
+transfer``.  See ``docs/architecture.md`` for the data flow and
+``benchmarks/bench_transfer_warmstart.py`` for the evaluation-savings
+measurement.
+"""
+
+from repro.transfer.donor import (
+    DonorCandidate,
+    TransferPlan,
+    build_transfer_plan,
+    cps_agreement,
+    donor_candidate,
+    rank_donors,
+    select_donor,
+    stored_fingerprint,
+)
+from repro.transfer.fingerprint import WorkloadFingerprint, fingerprint_similarity
+
+__all__ = [
+    "DonorCandidate",
+    "TransferPlan",
+    "WorkloadFingerprint",
+    "build_transfer_plan",
+    "cps_agreement",
+    "donor_candidate",
+    "fingerprint_similarity",
+    "rank_donors",
+    "select_donor",
+    "stored_fingerprint",
+]
