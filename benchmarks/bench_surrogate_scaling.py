@@ -1,0 +1,218 @@
+"""Per-iteration surrogate cost vs. history length: full refit vs. engine.
+
+The paper's headline claim is *low-overhead* tuning, and PR after PR the
+histories the surrogate trains on get longer: the persistent service
+accumulates observations across sessions, transfer warm-starting
+transplants donor rows, and batch evaluation multiplies proposals per
+refit.  The historic surrogate stack refit the DAGP from scratch every
+BO iteration — an O(n^3) factorization, ~36 slice-sampling steps each
+costing a fresh Cholesky-backed log-marginal-likelihood, then n_mcmc
+cloned models refit again — so optimizer time (the quantity behind
+``bench_fig11_opt_time_arm.py`` / ``bench_fig12_opt_time_x86.py``) grew
+cubically with history length.
+
+This benchmark isolates the surrogate engine: it drives the same
+BO-iteration workload (append one observation, update the model,
+maximize acquisition) through
+
+* the **full-refit** path — a fresh ``DatasizeAwareGP.fit`` per
+  iteration, cold MCMC chain included (``BOLoop(surrogate_mode="full")``
+  behavior, bit-for-bit the pre-engine trajectory), and
+* the **incremental** path — one persistent engine per loop:
+  ``extend`` appends observations with exact rank-k Cholesky updates,
+  the hyper-parameter chain is warm-started from its previous final
+  state, and the stacked models are extended rather than refit
+  (``BOLoop(surrogate_mode="incremental")`` behavior),
+
+and reports the median per-iteration fit+suggest wall-clock at several
+history lengths.  The pinned claim (also asserted by the CI ``--smoke``
+budget): **at 200-observation histories the incremental path is at
+least 3x faster per iteration** than the full-refit path.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_surrogate_scaling.py
+    PYTHONPATH=src python benchmarks/bench_surrogate_scaling.py --smoke
+
+or as part of the benchmark suite (``pytest benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.bo.optimize import maximize_acquisition
+from repro.core.dagp import DatasizeAwareGP
+
+#: Input dimensionality of the synthetic tuning problem — a typical
+#: IICP latent dimensionality plus headroom.
+DIM = 6
+
+#: The sweep of history lengths; the budget assertion reads at 200.
+HISTORY_LENGTHS = (50, 100, 200, 320)
+
+DATASIZE_GB = 200.0
+
+
+def _objective(points: np.ndarray) -> np.ndarray:
+    """Smooth multiplicative response surface, minimum at 0.3 per axis."""
+    points = np.atleast_2d(points)
+    penalty = np.sum((points - 0.3) ** 2, axis=1)
+    return 50.0 * (DATASIZE_GB / 100.0) * (1.0 + penalty)
+
+
+def _history(n: int, seed: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, DIM))
+    datasizes = np.full(n, DATASIZE_GB)
+    return points, datasizes, _objective(points)
+
+
+def _suggest(model: DatasizeAwareGP, best: float, rng: np.random.Generator) -> np.ndarray:
+    def score(candidates: np.ndarray) -> np.ndarray:
+        return model.acquisition(candidates, DATASIZE_GB, best)
+
+    point, _ = maximize_acquisition(score, DIM, n_candidates=384, rng=rng)
+    return point
+
+
+def measure_path(
+    n_history: int, iterations: int, incremental: bool, n_mcmc: int = 8, seed: int = 0
+) -> dict:
+    """Median per-iteration fit+suggest wall-clock for one path.
+
+    Each measured iteration is exactly what a BO loop pays per step at
+    this history length: bring the surrogate up to date with the data
+    observed so far, then maximize the acquisition for the next
+    proposal.  The proposal is evaluated on the synthetic objective and
+    appended, so the history grows exactly as in a real session.
+    """
+    points, datasizes, durations = _history(n_history, seed)
+    points, datasizes, durations = list(points), list(datasizes), list(durations)
+    rng = np.random.default_rng(seed + 1)
+    engine: DatasizeAwareGP | None = None
+    n_modeled = 0
+    if incremental:
+        # The session's one-off initial fit is not a per-iteration cost.
+        engine = DatasizeAwareGP(DIM, n_mcmc=n_mcmc)
+        engine.fit(np.stack(points), np.array(datasizes), np.array(durations), rng=rng)
+        n_modeled = len(points)
+    per_iteration: list[float] = []
+    for _ in range(iterations):
+        # The timed window is everything a BO iteration pays on the
+        # surrogate: bringing the model up to date with the rows observed
+        # since the last iteration (extend, including its periodic warm
+        # MCMC refresh — or the from-scratch fit), then the suggest.
+        started = time.perf_counter()
+        if incremental:
+            assert engine is not None
+            if len(points) > n_modeled:
+                engine.extend(
+                    np.stack(points[n_modeled:]),
+                    np.array(datasizes[n_modeled:]),
+                    np.array(durations[n_modeled:]),
+                    rng=rng,
+                )
+                n_modeled = len(points)
+            model = engine
+        else:
+            model = DatasizeAwareGP(DIM, n_mcmc=n_mcmc)
+            model.fit(np.stack(points), np.array(datasizes), np.array(durations), rng=rng)
+        best = float(np.min(durations))
+        proposal = _suggest(model, best, rng)
+        per_iteration.append(time.perf_counter() - started)
+
+        duration = float(_objective(proposal[None, :])[0])
+        points.append(proposal)
+        datasizes.append(DATASIZE_GB)
+        durations.append(duration)
+    return {
+        "n_history": n_history,
+        "iterations": iterations,
+        "median_s": float(np.median(per_iteration)),
+        "mean_s": float(np.mean(per_iteration)),
+    }
+
+
+def measure(lengths: tuple[int, ...], iterations: int, n_mcmc: int = 8) -> list[dict]:
+    rows = []
+    for n in lengths:
+        full = measure_path(n, iterations, incremental=False, n_mcmc=n_mcmc)
+        incr = measure_path(n, iterations, incremental=True, n_mcmc=n_mcmc)
+        rows.append(
+            {
+                "n_history": n,
+                "full_s": full["median_s"],
+                "incremental_s": incr["median_s"],
+                "speedup": full["median_s"] / max(incr["median_s"], 1e-12),
+            }
+        )
+    return rows
+
+
+def report(rows: list[dict]) -> str:
+    lines = [
+        "per-iteration fit+suggest wall-clock (median), full refit vs incremental engine",
+        f"{'history':>8} {'full':>10} {'incremental':>12} {'speedup':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['n_history']:>8} {row['full_s']:>9.3f}s {row['incremental_s']:>11.3f}s "
+            f"{row['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def _speedup_at(rows: list[dict], n_history: int) -> float:
+    for row in rows:
+        if row["n_history"] == n_history:
+            return row["speedup"]
+    raise KeyError(f"no measurement at history length {n_history}")
+
+
+def test_surrogate_scaling(run_once):
+    """Incremental fit+suggest must be >= 3x faster at 200 observations."""
+    rows = run_once(measure, (50, 200), 8)
+    print("\n" + report(rows))
+    speedup = _speedup_at(rows, 200)
+    assert speedup >= 3.0, f"expected >= 3x at 200 observations, got {speedup:.2f}x"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="measure only the 200-observation point with a reduced "
+        "iteration count and assert the 3x optimizer-time budget (for CI)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=8,
+        help="measured BO iterations per (path, history length)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rows = measure((200,), max(4, min(args.iterations, 6)))
+        print(report(rows))
+        speedup = _speedup_at(rows, 200)
+        if speedup < 3.0:
+            print(
+                f"smoke FAILED: incremental suggest only {speedup:.2f}x faster "
+                "than full refit at 200 observations (budget: >= 3x)",
+                file=sys.stderr,
+            )
+            return 1
+        print("smoke ok")
+        return 0
+
+    rows = measure(HISTORY_LENGTHS, args.iterations)
+    print(report(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

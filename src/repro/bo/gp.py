@@ -4,6 +4,18 @@ The GP models the (standardized) objective with a zero mean and a chosen
 covariance kernel plus observation noise.  Prediction follows equation
 (10): posterior mean ``K*^T (K + s^2 I)^-1 y`` and covariance
 ``K** - K*^T (K + s^2 I)^-1 K*`` computed via Cholesky factorization.
+
+The class implements the surrogate-engine lifecycle
+(:class:`repro.surrogate.protocol.Surrogate`): besides ``fit`` /
+``predict`` it supports ``extend`` — an algebraically exact O(n^2 k)
+rank-k append of new observations (the covariance factor grows by the
+block-Cholesky formula, targets are re-standardized, and only the
+O(n^2) ``alpha`` solve is redone) — and a memoized, *non-mutating*
+``log_marginal_likelihood(theta)``: evaluating the LML at a candidate
+hyper-parameter vector builds a throwaway factorization instead of
+refactorizing the model twice (set + restore), and repeated evaluations
+at bit-identical thetas (the common case inside univariate slice
+sampling) return the cached float.
 """
 
 from __future__ import annotations
@@ -11,7 +23,9 @@ from __future__ import annotations
 import numpy as np
 from scipy.linalg import cho_factor, cho_solve, cholesky
 
+from repro.bo.acquisition import expected_improvement
 from repro.bo.kernels import Matern52Kernel, RBFKernel
+from repro.surrogate.incremental import LMLCache, cholesky_append
 
 _JITTER = 1e-8
 
@@ -46,7 +60,9 @@ class GaussianProcess:
         self._y_std = 1.0
         self._extra_noise: np.ndarray | None = None
         self._chol = None
+        self._chol_lower: np.ndarray | None = None
         self._alpha: np.ndarray | None = None
+        self._lml_cache = LMLCache()
 
     # ------------------------------------------------------------------
     # Fitting and prediction
@@ -59,12 +75,51 @@ class GaussianProcess:
     def n_samples(self) -> int:
         return 0 if self._x is None else self._x.shape[0]
 
-    def fit(
-        self, x: np.ndarray, y: np.ndarray, extra_noise: np.ndarray | None = None
-    ) -> "GaussianProcess":
-        """Fit on (x, y); ``extra_noise`` is optional per-row additional
-        noise variance (standardized units, non-negative) added to the
-        covariance diagonal — zero rows behave exactly as before."""
+    # Read-only views for the engine (ModelStack builds per-sample
+    # factorizations over the same training set).
+    @property
+    def training_inputs(self) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("GP is not fitted")
+        return self._x
+
+    @property
+    def standardized_targets(self) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("GP is not fitted")
+        return self._y
+
+    @property
+    def target_mean(self) -> float:
+        return self._y_mean
+
+    @property
+    def target_std(self) -> float:
+        return self._y_std
+
+    @property
+    def extra_noise_vector(self) -> np.ndarray | None:
+        return self._extra_noise
+
+    @property
+    def chol_lower(self) -> np.ndarray:
+        """The (clean) lower Cholesky factor of the training covariance."""
+        if self._chol_lower is None:
+            raise RuntimeError("GP is not fitted")
+        return self._chol_lower
+
+    @staticmethod
+    def _validate_extra_noise(extra_noise, n_rows: int) -> np.ndarray | None:
+        if extra_noise is None:
+            return None
+        extra_noise = np.asarray(extra_noise, dtype=float).ravel()
+        if extra_noise.shape[0] != n_rows:
+            raise ValueError("extra_noise must have one value per observation")
+        if np.any(extra_noise < 0) or not np.all(np.isfinite(extra_noise)):
+            raise ValueError("extra_noise must be finite and non-negative")
+        return extra_noise
+
+    def _validate_xy(self, x, y) -> tuple[np.ndarray, np.ndarray]:
         x = np.atleast_2d(np.asarray(x, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
         if x.shape[0] != y.shape[0]:
@@ -73,21 +128,69 @@ class GaussianProcess:
             raise ValueError(f"kernel expects dim {self.kernel.dim}, got {x.shape[1]}")
         if not np.all(np.isfinite(x)) or not np.all(np.isfinite(y)):
             raise ValueError("training data contains non-finite values")
-        if extra_noise is not None:
-            extra_noise = np.asarray(extra_noise, dtype=float).ravel()
-            if extra_noise.shape[0] != y.shape[0]:
-                raise ValueError("extra_noise must have one value per observation")
-            if np.any(extra_noise < 0) or not np.all(np.isfinite(extra_noise)):
-                raise ValueError("extra_noise must be finite and non-negative")
-        self._extra_noise = extra_noise
-        self._x = x
-        self._y_raw = y
-        self._y_mean = float(np.mean(y))
-        self._y_std = float(np.std(y))
+        return x, y
+
+    def _standardize(self, y_raw: np.ndarray) -> None:
+        self._y_raw = y_raw
+        self._y_mean = float(np.mean(y_raw))
+        self._y_std = float(np.std(y_raw))
         if self._y_std < 1e-12:
             self._y_std = 1.0
-        self._y = (y - self._y_mean) / self._y_std
+        self._y = (y_raw - self._y_mean) / self._y_std
+
+    def fit(
+        self, x: np.ndarray, y: np.ndarray, extra_noise: np.ndarray | None = None
+    ) -> "GaussianProcess":
+        """Fit on (x, y); ``extra_noise`` is optional per-row additional
+        noise variance (standardized units, non-negative) added to the
+        covariance diagonal — zero rows behave exactly as before."""
+        x, y = self._validate_xy(x, y)
+        self._extra_noise = self._validate_extra_noise(extra_noise, y.shape[0])
+        self._x = x
+        self._standardize(y)
         self._refactor()
+        self._lml_cache.clear()
+        return self
+
+    def extend(
+        self, x: np.ndarray, y: np.ndarray, extra_noise: np.ndarray | None = None
+    ) -> "GaussianProcess":
+        """Append observations without a from-scratch refit.
+
+        Algebraically exact: the covariance factor grows by the block
+        (rank-k) Cholesky update at the current hyper-parameters, the
+        target standardization is recomputed over the concatenated
+        targets (the covariance is target-free, so only the O(n^2)
+        ``alpha`` solve depends on it), and the posterior equals a
+        ``fit`` on the concatenated data up to floating-point round-off.
+        Cost: O(n^2 k) for k new rows instead of O((n+k)^3).
+
+        On an unfitted model this simply delegates to :meth:`fit`.
+        """
+        if not self.is_fitted:
+            return self.fit(x, y, extra_noise=extra_noise)
+        x, y = self._validate_xy(x, y)
+        extra_new = self._validate_extra_noise(extra_noise, y.shape[0])
+        if self._extra_noise is None and extra_new is None:
+            extra_all = None
+        else:
+            extra_all = np.concatenate([
+                self._extra_noise if self._extra_noise is not None else np.zeros(self.n_samples),
+                extra_new if extra_new is not None else np.zeros(y.shape[0]),
+            ])
+
+        k_cross = self.kernel(self._x, x)
+        k_new = self.kernel(x, x)
+        k_new[np.diag_indices_from(k_new)] += self.noise_variance + _JITTER
+        if extra_new is not None:
+            k_new[np.diag_indices_from(k_new)] += extra_new
+        self._chol_lower = cholesky_append(self._chol_lower, k_cross, k_new)
+        self._chol = (self._chol_lower, True)
+        self._x = np.vstack([self._x, x])
+        self._extra_noise = extra_all
+        self._standardize(np.concatenate([self._y_raw, y]))
+        self._alpha = cho_solve(self._chol, self._y, check_finite=False)
+        self._lml_cache.clear()
         return self
 
     def _refactor(self) -> None:
@@ -97,8 +200,9 @@ class GaussianProcess:
         k[np.diag_indices_from(k)] += self.noise_variance + _JITTER
         if self._extra_noise is not None:
             k[np.diag_indices_from(k)] += self._extra_noise
-        self._chol = cho_factor(k, lower=True)
-        self._alpha = cho_solve(self._chol, self._y)
+        self._chol_lower = cholesky(k, lower=True, check_finite=False)
+        self._chol = (self._chol_lower, True)
+        self._alpha = cho_solve(self._chol, self._y, check_finite=False)
 
     def predict(self, x_star: np.ndarray, return_std: bool = True):
         """Posterior mean (and optionally standard deviation) at ``x_star``.
@@ -113,10 +217,15 @@ class GaussianProcess:
         mean = mean * self._y_std + self._y_mean
         if not return_std:
             return mean
-        v = cho_solve(self._chol, k_star)
+        v = cho_solve(self._chol, k_star, check_finite=False)
         var = self.kernel.diag(x_star) + self.noise_variance - np.sum(k_star * v, axis=0)
         std = np.sqrt(np.maximum(var, 1e-12)) * self._y_std
         return mean, std
+
+    def acquisition(self, x_star: np.ndarray, best: float, xi: float = 0.0) -> np.ndarray:
+        """Expected improvement (to maximize) against the incumbent ``best``."""
+        mean, std = self.predict(x_star)
+        return expected_improvement(mean, std, best, xi=xi)
 
     # ------------------------------------------------------------------
     # Hyper-parameters (for EI-MCMC)
@@ -137,26 +246,46 @@ class GaussianProcess:
         if self.is_fitted:
             self._refactor()
 
+    def _lml_from(self, lower: np.ndarray, alpha: np.ndarray) -> float:
+        assert self._y is not None
+        log_det = 2.0 * float(np.sum(np.log(np.diag(lower))))
+        n = self._y.shape[0]
+        return float(-0.5 * self._y @ alpha - 0.5 * log_det - 0.5 * n * np.log(2.0 * np.pi))
+
     def log_marginal_likelihood(self, theta: np.ndarray | None = None) -> float:
         """LML of the (standardized) training targets.
 
-        With ``theta`` given, evaluates at those hyper-parameters without
-        permanently changing the model state.
+        With ``theta`` given, evaluates at those hyper-parameters
+        *without touching the model state*: a temporary kernel and
+        factorization are built instead of mutating and restoring the
+        model (which used to cost two refactorizations per evaluation).
+        Results are memoized per exact theta until the training data
+        changes, so slice sampling's repeated evaluations at the current
+        chain state are free — and return bit-identical floats.
         """
         if not self.is_fitted:
             raise RuntimeError("log_marginal_likelihood() called before fit()")
-        if theta is not None:
-            saved = self.get_theta()
-            try:
-                self.set_theta(np.asarray(theta, dtype=float))
-                return self.log_marginal_likelihood()
-            finally:
-                self.set_theta(saved)
-        assert self._chol is not None and self._alpha is not None and self._y is not None
-        lower = self._chol[0]
-        log_det = 2.0 * float(np.sum(np.log(np.diag(lower))))
-        n = self._y.shape[0]
-        return float(-0.5 * self._y @ self._alpha - 0.5 * log_det - 0.5 * n * np.log(2.0 * np.pi))
+        if theta is None:
+            assert self._chol is not None and self._alpha is not None
+            return self._lml_from(self._chol[0], self._alpha)
+        theta = np.asarray(theta, dtype=float)
+        if theta.shape != (self.n_hyperparameters,):
+            raise ValueError(f"expected {self.n_hyperparameters} hyper-parameters")
+        cached = self._lml_cache.get(theta)
+        if cached is not None:
+            return cached
+        kernel = self.kernel.clone()
+        kernel.set_theta(theta[:-1])
+        noise = float(np.exp(theta[-1]))
+        k = kernel(self._x, self._x)
+        k[np.diag_indices_from(k)] += noise + _JITTER
+        if self._extra_noise is not None:
+            k[np.diag_indices_from(k)] += self._extra_noise
+        chol = cho_factor(k, lower=True, check_finite=False)
+        alpha = cho_solve(chol, self._y, check_finite=False)
+        value = self._lml_from(chol[0], alpha)
+        self._lml_cache.put(theta, value)
+        return value
 
     def clone_with_theta(self, theta: np.ndarray) -> "GaussianProcess":
         """An independent fitted copy at the given hyper-parameters."""
@@ -165,3 +294,25 @@ class GaussianProcess:
             gp.fit(self._x, self._y_raw, extra_noise=self._extra_noise)
         gp.set_theta(np.asarray(theta, dtype=float))
         return gp
+
+    def shallow_copy(self) -> "GaussianProcess":
+        """A cheap copy sharing training arrays but with independent state.
+
+        The copy can be :meth:`extend`-ed without touching this model:
+        ``extend`` rebinds (never mutates) the training arrays, the
+        kernel is cloned, and the copy gets its own LML cache.  This is
+        what constant-liar batch proposals build their "pretend"
+        surrogates from — one exact rank-1 extend per lie instead of a
+        from-scratch refit per pending point.
+        """
+        copy = GaussianProcess(self.kernel.clone(), self.noise_variance)
+        copy._x = self._x
+        copy._y_raw = self._y_raw
+        copy._y = self._y
+        copy._y_mean = self._y_mean
+        copy._y_std = self._y_std
+        copy._extra_noise = self._extra_noise
+        copy._chol = self._chol
+        copy._chol_lower = self._chol_lower
+        copy._alpha = self._alpha
+        return copy

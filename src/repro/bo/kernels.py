@@ -102,3 +102,39 @@ class Matern52Kernel:
         kernel = Matern52Kernel(self.dim, self.signal_variance)
         kernel.lengthscales = self.lengthscales.copy()
         return kernel
+
+
+def stacked_cross(kernels: list, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+    """Cross-covariances of several same-family ARD kernels in one pass.
+
+    Returns a ``(len(kernels), n1, n2)`` tensor whose slice ``s`` equals
+    ``kernels[s](x1, x2)`` exactly: the broadcast computation applies the
+    identical per-dimension scaling, distance clipping, and covariance
+    formula as the scalar ``__call__`` paths above, so per-slice floats
+    match bit for bit.  This is the surrogate engine's vectorized
+    multi-model evaluation (:class:`repro.surrogate.stack.ModelStack`):
+    one distance tensor serves all of EI-MCMC's hyper-parameter samples
+    instead of one kernel build per sampled model.
+
+    Kernels of mixed or unknown families fall back to a per-kernel loop
+    (still exact, just not batched).
+    """
+    proto = kernels[0]
+    if not isinstance(proto, (RBFKernel, Matern52Kernel)) or not all(
+        type(k) is type(proto) for k in kernels
+    ):
+        return np.stack([k(x1, x2) for k in kernels])
+    x1 = np.atleast_2d(x1)
+    x2 = np.atleast_2d(x2)
+    ls = np.stack([k.lengthscales for k in kernels])  # (S, d)
+    sv = np.array([k.signal_variance for k in kernels])  # (S,)
+    a = x1[None, :, :] / ls[:, None, :]  # (S, n1, d)
+    b = x2[None, :, :] / ls[:, None, :]  # (S, n2, d)
+    aa = np.sum(a * a, axis=2)[:, :, None]
+    bb = np.sum(b * b, axis=2)[:, None, :]
+    sq = np.maximum(aa + bb - 2.0 * np.matmul(a, b.transpose(0, 2, 1)), 0.0)
+    if isinstance(proto, RBFKernel):
+        return sv[:, None, None] * np.exp(-0.5 * sq)
+    r = np.sqrt(sq)
+    term = 1.0 + _SQRT5 * r + (5.0 / 3.0) * sq
+    return sv[:, None, None] * term * np.exp(-_SQRT5 * r)

@@ -56,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
         "configurations (constant-liar q-EI) and runs them concurrently; "
         "1 (default) reproduces the serial trajectory exactly",
     )
+    tune.add_argument(
+        "--surrogate", choices=("full", "incremental"), default="full",
+        help="surrogate-engine mode: 'full' refits the GP from scratch every "
+        "BO iteration (bit-for-bit the historic trajectory), 'incremental' "
+        "reuses one engine with exact rank-k Cholesky extends and "
+        "warm-started MCMC chains (same quality, far lower optimizer time "
+        "on long histories)",
+    )
     tune.add_argument("--output", help="write spark-defaults.conf here")
     tune.add_argument(
         "--transfer-store", metavar="DIR",
@@ -182,6 +190,7 @@ def cmd_tune(args) -> int:
     locat = LOCAT(
         simulator, app, rng=args.seed, max_iterations=args.iterations,
         n_workers=args.workers, transfer_from=plan,
+        surrogate_mode=args.surrogate,
     )
     result = locat.tune(args.datasize)
     if plan is not None:

@@ -22,6 +22,22 @@ keeps donor rows advisory — predictions and acquisition always query at
 fidelity 0, so the target's own observations dominate wherever they
 exist.  With no fidelities (or all zeros) the model is bit-for-bit the
 pre-transfer DAGP.
+
+The class implements the surrogate-engine lifecycle
+(:class:`repro.surrogate.protocol.Surrogate`):
+
+* ``fit`` trains from scratch — full factorization, a cold slice-
+  sampling chain, and one :class:`~repro.surrogate.stack.ModelStack`
+  holding the ``n_mcmc`` per-sample ``(chol, alpha)`` states.
+* ``extend`` appends observations incrementally: the base GP and every
+  stacked model grow by an exact rank-k Cholesky update, and the
+  hyper-parameter chain is *warm-started* from its previous final state
+  with a slashed burn-in (``MCMC_WARM_BURN_IN`` instead of the cold
+  20).  Every ``mcmc_refresh_every``-th extend re-samples; in between,
+  the posterior samples are kept and merely extended — the dominant
+  O(n^3)-per-theta cost is paid a fraction of the iterations.
+* ``acquisition`` evaluates the marginalized EI over all samples in one
+  vectorized pass (no per-clone Python loop).
 """
 
 from __future__ import annotations
@@ -31,8 +47,9 @@ import numpy as np
 from repro.bo.acquisition import expected_improvement
 from repro.bo.gp import GaussianProcess
 from repro.bo.kernels import Matern52Kernel
-from repro.bo.mcmc import slice_sample_hyperparameters
+from repro.bo.mcmc import slice_sample_chain
 from repro.stats.sampling import ensure_rng
+from repro.surrogate.stack import ModelStack
 
 #: Datasize normalization reference: 1 TB, the largest size the paper uses.
 DATASIZE_REFERENCE_GB = 1024.0
@@ -43,6 +60,19 @@ DATASIZE_REFERENCE_GB = 1024.0
 #: hint": enough to shape the prior where the target has no data, never
 #: enough to outvote a real observation nearby.
 TRANSFER_NOISE_VARIANCE = 0.5
+
+#: Burn-in of a warm-started hyper-parameter chain.  A chain resumed
+#: from the previous iteration's final state starts near the posterior
+#: mode of an almost-identical training set, so a handful of updates
+#: decorrelates it — against the cold default of 20.
+MCMC_WARM_BURN_IN = 4
+
+#: How many ``extend`` calls may reuse the current hyper-parameter
+#: samples before the chain is advanced again.  One new observation
+#: barely moves the hyper-parameter posterior; re-sampling every call
+#: would re-factorize ``n_mcmc`` models per iteration for no
+#: statistical gain.
+MCMC_REFRESH_EVERY = 4
 
 
 def datasize_coordinate(datasize_gb: float | np.ndarray) -> np.ndarray:
@@ -68,21 +98,32 @@ class DatasizeAwareGP:
         n_mcmc: int = 8,
         noise_variance: float = 1e-3,
         transfer_noise_variance: float = TRANSFER_NOISE_VARIANCE,
+        mcmc_warm_burn_in: int = MCMC_WARM_BURN_IN,
+        mcmc_refresh_every: int = MCMC_REFRESH_EVERY,
     ):
         if config_dim <= 0:
             raise ValueError("config_dim must be positive")
         if transfer_noise_variance < 0:
             raise ValueError("transfer_noise_variance must be non-negative")
+        if mcmc_refresh_every < 1:
+            raise ValueError("mcmc_refresh_every must be at least 1")
         self.config_dim = config_dim
         self.n_mcmc = n_mcmc
         self.noise_variance = float(noise_variance)
         self.transfer_noise_variance = float(transfer_noise_variance)
+        self.mcmc_warm_burn_in = int(mcmc_warm_burn_in)
+        self.mcmc_refresh_every = int(mcmc_refresh_every)
         kernel = Matern52Kernel(dim=config_dim + 1, lengthscale=0.5)
         self.gp = GaussianProcess(kernel, noise_variance=noise_variance)
         self._x: np.ndarray | None = None
         self._log_t: np.ndarray | None = None
+        self._datasizes_gb: np.ndarray | None = None
+        self._fidelities: np.ndarray | None = None
         self._theta_samples: list[np.ndarray] = []
-        self._models: list[GaussianProcess] = []
+        self._stack: ModelStack | None = None
+        #: Final state of the last hyper-parameter chain (warm-start seed).
+        self._mcmc_state: np.ndarray | None = None
+        self._extends_since_mcmc = 0
         #: True when the fitted inputs carry the transfer fidelity column.
         self._with_fidelity = False
 
@@ -96,6 +137,58 @@ class DatasizeAwareGP:
         if config_points.shape[0] != ds.shape[0]:
             raise ValueError("config_points and datasizes must have equal length")
         return np.hstack([config_points, ds[:, None]])
+
+    def _rebuild_kernel(self, with_fidelity: bool) -> None:
+        """Swap the fidelity column in or out, carrying learned theta over.
+
+        The kernel is rebuilt at the new input dimension, but the signal
+        variance, the shared (config + datasize) lengthscales, and the
+        observation noise keep their current — possibly learned — values
+        instead of snapping back to the constructor defaults.  Only the
+        fidelity axis itself starts at the default lengthscale.
+        """
+        old_kernel = self.gp.kernel
+        dim = self.config_dim + (2 if with_fidelity else 1)
+        kernel = Matern52Kernel(dim=dim, lengthscale=0.5)
+        kernel.signal_variance = old_kernel.signal_variance
+        shared = min(self.config_dim + 1, old_kernel.dim, dim)
+        kernel.lengthscales[:shared] = old_kernel.lengthscales[:shared]
+        self.gp = GaussianProcess(kernel, noise_variance=self.gp.noise_variance)
+        self._with_fidelity = with_fidelity
+
+    @staticmethod
+    def _validate_fidelities(fidelities, n_rows: int) -> np.ndarray | None:
+        if fidelities is None:
+            return None
+        fidelities = np.asarray(fidelities, dtype=float).ravel()
+        if fidelities.shape[0] != n_rows:
+            raise ValueError("fidelities must have one value per observation")
+        if np.any(fidelities < 0):
+            raise ValueError("fidelities must be non-negative")
+        return fidelities
+
+    def _sample_hyperparameters(
+        self, rng: int | np.random.Generator | None, warm: bool, fast: bool = False
+    ) -> None:
+        """(Re-)sample the hyper-parameter posterior and rebuild the stack.
+
+        ``warm=True`` resumes the chain from its previous final state
+        with the reduced burn-in; otherwise the chain starts cold from
+        the GP's current hyper-parameters with the full default burn-in.
+        ``fast=True`` builds the stack with precision matrices (the
+        incremental path's batched-matmul acquisition); ``False`` keeps
+        the exact mode whose floats match the historic per-clone loop.
+        """
+        warm = warm and self._mcmc_state is not None
+        self._theta_samples, self._mcmc_state = slice_sample_chain(
+            self.gp,
+            n_samples=self.n_mcmc,
+            burn_in=self.mcmc_warm_burn_in if warm else 20,
+            rng=ensure_rng(rng),
+            initial_theta=self._mcmc_state if warm else None,
+        )
+        self._stack = ModelStack.from_gp(self.gp, self._theta_samples, fast=fast)
+        self._extends_since_mcmc = 0
 
     def fit(
         self,
@@ -121,48 +214,155 @@ class DatasizeAwareGP:
         if x.shape[1] != self.config_dim + 1:
             raise ValueError(f"expected config dim {self.config_dim}, got {x.shape[1] - 1}")
 
-        extra_noise = None
-        if fidelities is not None:
-            fidelities = np.asarray(fidelities, dtype=float).ravel()
-            if fidelities.shape[0] != x.shape[0]:
-                raise ValueError("fidelities must have one value per observation")
-            if np.any(fidelities < 0):
-                raise ValueError("fidelities must be non-negative")
+        fidelities = self._validate_fidelities(fidelities, x.shape[0])
         with_fidelity = fidelities is not None and bool(np.any(fidelities > 0))
         if with_fidelity != self._with_fidelity:
-            # (Re)build the kernel at the right input dimension; fidelity
-            # adds one coordinate next to the datasize column.
-            dim = self.config_dim + (2 if with_fidelity else 1)
-            self.gp = GaussianProcess(
-                Matern52Kernel(dim=dim, lengthscale=0.5), noise_variance=self.noise_variance
-            )
-            self._with_fidelity = with_fidelity
+            self._rebuild_kernel(with_fidelity)
+        extra_noise = None
         if with_fidelity:
             x = np.hstack([x, fidelities[:, None]])
             extra_noise = self.transfer_noise_variance * fidelities
 
         self._x = x
         self._log_t = np.log(durations)
+        self._datasizes_gb = np.asarray(datasizes_gb, dtype=float).ravel().copy()
+        self._fidelities = (
+            fidelities.copy() if fidelities is not None else np.zeros(x.shape[0])
+        )
         self.gp.fit(x, self._log_t, extra_noise=extra_noise)
+        self._mcmc_state = None
         if self.n_mcmc > 0 and x.shape[0] >= 4:
-            self._theta_samples = slice_sample_hyperparameters(
-                self.gp, n_samples=self.n_mcmc, rng=ensure_rng(rng)
-            )
-            # Materialize the fitted per-sample models once; acquisition
-            # is called hundreds of times per BO iteration.
-            self._models = [self.gp.clone_with_theta(t) for t in self._theta_samples]
+            self._sample_hyperparameters(rng, warm=False)
         else:
             self._theta_samples = []
-            self._models = []
+            self._stack = None
+            self._extends_since_mcmc = 0
+        return self
+
+    def extend(
+        self,
+        config_points: np.ndarray,
+        datasizes_gb: np.ndarray,
+        durations_s: np.ndarray,
+        rng: int | np.random.Generator | None = None,
+        fidelities: np.ndarray | None = None,
+    ) -> "DatasizeAwareGP":
+        """Append observations incrementally (exact rank-k updates).
+
+        The base GP and every stacked per-sample model grow by the block
+        Cholesky update — O(n^2 k) per model instead of a refit — and
+        the hyper-parameter chain is advanced warm (previous final
+        state, reduced burn-in) every ``mcmc_refresh_every``-th call;
+        in between, the existing posterior samples are reused.
+
+        New rows default to fidelity 0 (the caller's own observations).
+        Toggling the fidelity column on or off relative to the fitted
+        state cannot be expressed as a rank-k update (the input
+        dimensionality changes), so that rare case falls back to a full
+        refit over the concatenated data.
+        """
+        if not self.is_fitted:
+            return self.fit(
+                config_points, datasizes_gb, durations_s, rng=rng, fidelities=fidelities
+            )
+        durations = np.asarray(durations_s, dtype=float).ravel()
+        if np.any(durations <= 0):
+            raise ValueError("durations must be positive")
+        x = self._join(config_points, datasizes_gb)
+        if x.shape[1] != self.config_dim + 1:
+            raise ValueError(f"expected config dim {self.config_dim}, got {x.shape[1] - 1}")
+        fidelities = self._validate_fidelities(fidelities, x.shape[0])
+        new_fid = fidelities if fidelities is not None else np.zeros(x.shape[0])
+
+        if bool(np.any(new_fid > 0)) and not self._with_fidelity:
+            # Dimensionality change: replay everything through fit().
+            all_configs = np.vstack([self._x[:, : self.config_dim], x[:, : self.config_dim]])
+            return self.fit(
+                all_configs,
+                np.concatenate([self._datasizes_gb, np.asarray(datasizes_gb, dtype=float).ravel()]),
+                np.concatenate([np.exp(self._log_t), durations]),
+                rng=rng,
+                fidelities=np.concatenate([self._fidelities, new_fid]),
+            )
+
+        extra_noise = None
+        if self._with_fidelity:
+            x = np.hstack([x, new_fid[:, None]])
+            extra_noise = self.transfer_noise_variance * new_fid
+
+        self.gp.extend(x, np.log(durations), extra_noise=extra_noise)
+        self._x = np.vstack([self._x, x])
+        self._log_t = np.concatenate([self._log_t, np.log(durations)])
+        self._datasizes_gb = np.concatenate(
+            [self._datasizes_gb, np.asarray(datasizes_gb, dtype=float).ravel()]
+        )
+        self._fidelities = np.concatenate([self._fidelities, new_fid])
+
+        if self.n_mcmc > 0 and self._x.shape[0] >= 4:
+            self._extends_since_mcmc += 1
+            # The first extend converts an exact (fit-built) stack to the
+            # fast precision-matrix form alongside its warm chain
+            # refresh; afterwards the chain is only advanced every
+            # ``mcmc_refresh_every``-th call and the stacked models are
+            # extended in place in between.
+            if (
+                self._stack is None
+                or not self._stack.fast
+                or self._extends_since_mcmc >= self.mcmc_refresh_every
+            ):
+                self._sample_hyperparameters(rng, warm=True, fast=True)
+            else:
+                self._stack.extend(
+                    x,
+                    self.gp.standardized_targets,
+                    self.gp.target_mean,
+                    self.gp.target_std,
+                    extra_noise_new=extra_noise,
+                )
         return self
 
     @property
     def is_fitted(self) -> bool:
         return self._x is not None
 
+    @property
+    def n_observations(self) -> int:
+        return 0 if self._x is None else self._x.shape[0]
+
+    def point_estimate_copy(self) -> "DatasizeAwareGP":
+        """A cheap ``n_mcmc=0`` copy sharing this model's fitted state.
+
+        The copy can be :meth:`extend`-ed freely without touching this
+        model (the GP copy rebinds, never mutates, its arrays), which is
+        what the constant-liar batch path builds its "pretend"
+        surrogates from: one exact rank-1 extend per lie.
+        """
+        copy = DatasizeAwareGP(
+            self.config_dim,
+            n_mcmc=0,
+            noise_variance=self.noise_variance,
+            transfer_noise_variance=self.transfer_noise_variance,
+        )
+        copy.gp = self.gp.shallow_copy()
+        copy._x = self._x
+        copy._log_t = self._log_t
+        copy._datasizes_gb = self._datasizes_gb
+        copy._fidelities = self._fidelities
+        copy._with_fidelity = self._with_fidelity
+        return copy
+
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
+    def _query_inputs(self, config_points: np.ndarray, datasize_gb: float) -> np.ndarray:
+        config_points = np.atleast_2d(np.asarray(config_points, dtype=float))
+        ds = np.full(config_points.shape[0], float(datasize_gb))
+        x = self._join(config_points, ds)
+        if self._with_fidelity:
+            # Queries are always about the target application itself.
+            x = np.hstack([x, np.zeros((x.shape[0], 1))])
+        return x
+
     def predict(
         self,
         config_points: np.ndarray,
@@ -171,13 +371,7 @@ class DatasizeAwareGP:
         """Posterior mean/std of log execution time at one datasize."""
         if not self.is_fitted:
             raise RuntimeError("predict() called before fit()")
-        config_points = np.atleast_2d(np.asarray(config_points, dtype=float))
-        ds = np.full(config_points.shape[0], float(datasize_gb))
-        x = self._join(config_points, ds)
-        if self._with_fidelity:
-            # Queries are always about the target application itself.
-            x = np.hstack([x, np.zeros((x.shape[0], 1))])
-        return self.gp.predict(x)
+        return self.gp.predict(self._query_inputs(config_points, datasize_gb))
 
     def predict_duration(self, config_points: np.ndarray, datasize_gb: float) -> np.ndarray:
         """Posterior median execution time in seconds."""
@@ -196,23 +390,17 @@ class DatasizeAwareGP:
         """EI (to maximize) marginalized over hyper-parameter samples.
 
         ``best_duration_s`` is the incumbent at the *target datasize*;
-        EI is computed on log durations for scale robustness.
+        EI is computed on log durations for scale robustness.  With
+        posterior samples present, all ``n_mcmc`` models are evaluated
+        in one vectorized :class:`~repro.surrogate.stack.ModelStack`
+        pass.
         """
         if not self.is_fitted:
             raise RuntimeError("acquisition() called before fit()")
-        config_points = np.atleast_2d(np.asarray(config_points, dtype=float))
-        ds = np.full(config_points.shape[0], float(datasize_gb))
-        x = self._join(config_points, ds)
-        if self._with_fidelity:
-            x = np.hstack([x, np.zeros((x.shape[0], 1))])  # query at own fidelity
+        x = self._query_inputs(config_points, datasize_gb)
         best_log = float(np.log(max(best_duration_s, 1e-9)))
 
-        if not self._models:
+        if self._stack is None:
             mean, std = self.gp.predict(x)
             return expected_improvement(mean, std, best_log)
-
-        total = np.zeros(x.shape[0])
-        for model in self._models:
-            mean, std = model.predict(x)
-            total += expected_improvement(mean, std, best_log)
-        return total / len(self._models)
+        return self._stack.acquisition(x, best_log)

@@ -101,6 +101,7 @@ class LOCAT:
         n_workers: int = 1,
         transfer_from: TransferPlan | None = None,
         n_transfer_bootstrap: int = DEFAULT_N_TRANSFER_BOOTSTRAP,
+        surrogate_mode: str = "full",
         rng: int | np.random.Generator | None = None,
     ):
         self.simulator = simulator
@@ -122,6 +123,13 @@ class LOCAT:
         self.n_workers = int(n_workers)
         self.transfer_from = transfer_from
         self.n_transfer_bootstrap = int(n_transfer_bootstrap)
+        if surrogate_mode not in ("full", "incremental"):
+            raise ValueError("surrogate_mode must be 'full' or 'incremental'")
+        #: Surrogate-engine lifecycle for every BO loop this orchestrator
+        #: runs: "full" refits per iteration (the historic, bit-for-bit
+        #: reproducible path), "incremental" reuses one engine per loop
+        #: with exact rank-k extends and warm-started MCMC chains.
+        self.surrogate_mode = surrogate_mode
         #: Bias-corrected donor observations (never persisted, never in
         #: :attr:`observation_history`); filled by a transfer bootstrap.
         self._transfer_observations: list[_Observation] = []
@@ -199,6 +207,7 @@ class LOCAT:
             n_mcmc=min(self.n_mcmc, 4),
             n_candidates=192,
             batch_size=self.n_workers,
+            surrogate_mode=self.surrogate_mode,
             rng=self.rng,
         )
         loop.minimize(
@@ -731,6 +740,7 @@ class LOCAT:
                 ei_threshold=self.ei_threshold,
                 n_mcmc=self.n_mcmc,
                 batch_size=self.n_workers,
+                surrogate_mode=self.surrogate_mode,
                 rng=self.rng,
             )
             trace = loop.minimize(

@@ -8,6 +8,15 @@ so the batched BO loop (``BOLoop(batch_size=q)``) hands each refit's
 ``q`` proposals to a :class:`ParallelEvaluator` instead of running them
 one at a time.
 
+The surrogate side of a batch is no longer the multiplier it used to
+be: the greedy constant-liar construction of those ``q`` proposals now
+extends a point-estimate copy of the iteration's surrogate with one
+exact rank-1 Cholesky update per lie (see
+:meth:`repro.core.dagp.DatasizeAwareGP.point_estimate_copy`), so the
+per-batch modelling cost is O(q n^2) instead of q from-scratch O(n^3)
+refits — the evaluator's workers, not the liar refits, bound batch
+throughput.
+
 Determinism contract:
 
 * ``n_workers=1`` delegates straight to the objective's serial

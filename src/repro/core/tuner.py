@@ -16,7 +16,30 @@ each surrogate refit proposes ``q`` points via greedy constant-liar
 q-EI and hands them to the caller as one batch — the parallel
 evaluation pipeline runs them concurrently.  ``batch_size=1`` follows
 the exact serial code path, so seeded serial trajectories are
-unchanged.
+unchanged.  The liar surrogates are built by *extending* a point-
+estimate copy of the iteration's fitted model with the pending lies
+(one exact rank-1 Cholesky update per lie, see
+:meth:`repro.core.dagp.DatasizeAwareGP.point_estimate_copy`) instead of
+refitting a fresh model per pending point.
+
+``surrogate_mode`` selects the engine lifecycle
+(:mod:`repro.surrogate`):
+
+* ``"full"`` (default) — one from-scratch :class:`DatasizeAwareGP` fit
+  per iteration, cold MCMC chain included.  This is the historic code
+  path: the shared RNG is consumed in exactly the same order as before
+  the surrogate engine existed, so seeded *serial* (``batch_size=1``)
+  trajectories are preserved bit for bit.  Batched runs stay seeded-
+  deterministic, but their liar surrogates now go through the
+  incremental machinery, so a ``batch_size>1`` trajectory can differ
+  from the pre-engine code at floating-point round-off level.
+* ``"incremental"`` — one persistent surrogate for the whole loop: each
+  iteration appends the new observations via exact rank-k Cholesky
+  updates and warm-starts the hyper-parameter chain from the previous
+  iteration's final state (slashed burn-in, periodic refresh).  Per-
+  iteration surrogate cost drops from O(n^3 x MCMC steps) to O(n^2)
+  amortized; the trajectory is statistically equivalent but not
+  RNG-identical to ``"full"``.
 
 Warm observations may carry a *fidelity* (``warm_fidelities``): rows at
 fidelity 0 are the caller's own observations, rows at fidelity > 0 are
@@ -122,12 +145,15 @@ class BOLoop:
         n_candidates: int = 384,
         batch_size: int = 1,
         liar_strategy: str = "min",
+        surrogate_mode: str = "full",
         rng: int | np.random.Generator | None = None,
     ):
         if dim <= 0:
             raise ValueError("dim must be positive")
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if surrogate_mode not in ("full", "incremental"):
+            raise ValueError("surrogate_mode must be 'full' or 'incremental'")
         n_init = min(n_init, max_iterations)  # small budgets shrink the design
         self.dim = dim
         if bounds is None:
@@ -148,6 +174,7 @@ class BOLoop:
         self.n_candidates = n_candidates
         self.batch_size = batch_size
         self.liar_strategy = liar_strategy
+        self.surrogate_mode = surrogate_mode
         self.rng = ensure_rng(rng)
 
     # ------------------------------------------------------------------
@@ -256,28 +283,44 @@ class BOLoop:
             observe(best_warm, float(evaluate(best_warm, datasize_gb)))
 
         iterations = 0
+        incremental = self.surrogate_mode == "incremental"
+        model: DatasizeAwareGP | None = None
+        n_modeled = 0
         while trace.n_evaluations - n_warm < self.max_iterations:
-            model = DatasizeAwareGP(self.dim, n_mcmc=self.n_mcmc)
-            model.fit(
-                self._to_unit(np.stack(trace.points)),
-                np.array(trace.datasizes),
-                np.array(trace.durations),
-                rng=self.rng,
-                fidelities=np.array(trace.fidelities) if any_transfer else None,
-            )
+            unit_points = self._to_unit(np.stack(trace.points))
+            if model is None or not incremental:
+                model = DatasizeAwareGP(self.dim, n_mcmc=self.n_mcmc)
+                model.fit(
+                    unit_points,
+                    np.array(trace.datasizes),
+                    np.array(trace.durations),
+                    rng=self.rng,
+                    fidelities=np.array(trace.fidelities) if any_transfer else None,
+                )
+            elif trace.n_evaluations > n_modeled:
+                # New observations are always the caller's own (fidelity
+                # 0); the engine appends them with exact rank-k updates
+                # and a warm-started hyper-parameter chain.
+                model.extend(
+                    unit_points[n_modeled:],
+                    np.array(trace.datasizes[n_modeled:]),
+                    np.array(trace.durations[n_modeled:]),
+                    rng=self.rng,
+                )
+            n_modeled = trace.n_evaluations
             _, best_duration = trace.best(datasize_gb)
 
             def score(unit_candidates: np.ndarray) -> np.ndarray:
                 return model.acquisition(unit_candidates, datasize_gb, best_duration)
 
-            anchors = self._to_unit(np.stack(trace.points))[
-                np.argsort(trace.durations)[:3]
-            ]
+            anchors = unit_points[np.argsort(trace.durations)[:3]]
             if batched:
                 remaining = self.max_iterations - (trace.n_evaluations - n_warm)
                 q = min(self.batch_size, remaining)
                 unit_batch, eis = propose_batch(
-                    self._liar_score_factory(trace, score, datasize_gb, best_duration),
+                    self._liar_score_factory(
+                        trace, score, datasize_gb, best_duration, model
+                    ),
                     self.dim,
                     q,
                     n_candidates=self.n_candidates,
@@ -316,14 +359,22 @@ class BOLoop:
         score: Callable[[np.ndarray], np.ndarray],
         datasize_gb: float,
         best_duration: float,
+        model: DatasizeAwareGP,
     ) -> Callable[[list[np.ndarray]], Callable[[np.ndarray], np.ndarray]]:
-        """Constant-liar surrogate refits for greedy q-EI proposals.
+        """Constant-liar surrogates for greedy q-EI proposals.
 
         The first point of a batch is scored by the real EI-MCMC model;
         each later point sees a point-estimate surrogate where the
         pending proposals are pretended to have returned the incumbent
         duration (CL-min), which collapses EI around them and pushes the
         batch apart.
+
+        The liar surrogate is a cheap point-estimate copy of the
+        iteration's fitted ``model``, *extended* with each pending lie —
+        an exact rank-1 Cholesky update per lie — rather than a
+        from-scratch refit of all n observations per pending point.
+        Greedy q-EI grows ``pending`` monotonically within a batch, so
+        one copy serves the whole round.
         """
         # The lie is computed over the *own* durations observed at the
         # target datasize (donor rows are another application's scale):
@@ -335,27 +386,23 @@ class BOLoop:
             if ds == datasize_gb and trace.fidelity_of(i) == 0.0
         ]
         lie = constant_liar(np.asarray(at_target), self.liar_strategy)
-        unit_observed = self._to_unit(np.stack(trace.points))
-        observed_ds = np.array(trace.datasizes)
-        observed_durations = np.array(trace.durations)
-        observed_fidelities = np.array(trace.fidelities)
-        any_transfer = bool(np.any(observed_fidelities > 0))
+        state: dict = {"model": None, "applied": 0}
 
         def score_for(pending: list[np.ndarray]) -> Callable[[np.ndarray], np.ndarray]:
             if not pending:
                 return score
-            liar_model = DatasizeAwareGP(self.dim, n_mcmc=0)
-            liar_model.fit(
-                np.vstack([unit_observed, np.stack(pending)]),
-                np.concatenate([observed_ds, np.full(len(pending), datasize_gb)]),
-                np.concatenate([observed_durations, np.full(len(pending), lie)]),
-                rng=self.rng,
-                fidelities=(
-                    np.concatenate([observed_fidelities, np.zeros(len(pending))])
-                    if any_transfer
-                    else None
-                ),
-            )
+            if state["model"] is None or state["applied"] > len(pending):
+                state["model"] = model.point_estimate_copy()
+                state["applied"] = 0
+            liar_model: DatasizeAwareGP = state["model"]
+            new = pending[state["applied"] :]
+            if new:
+                liar_model.extend(
+                    np.stack(new),
+                    np.full(len(new), datasize_gb),
+                    np.full(len(new), lie),
+                )
+                state["applied"] = len(pending)
 
             def liar_score(unit_candidates: np.ndarray) -> np.ndarray:
                 return liar_model.acquisition(unit_candidates, datasize_gb, best_duration)

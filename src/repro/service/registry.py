@@ -53,7 +53,7 @@ TUNER_KEYS = frozenset(
         "n_qcsa", "n_iicp", "scc_threshold", "kernel", "explained_variance",
         "min_iterations", "max_iterations", "ei_threshold", "n_mcmc",
         "refit_interval", "use_qcsa", "use_iicp", "use_dagp", "use_polish",
-        "n_workers", "n_transfer_bootstrap",
+        "n_workers", "n_transfer_bootstrap", "surrogate_mode",
     }
 )
 
@@ -233,6 +233,16 @@ class TuningRegistry:
                     raise ValueError(
                         f"tuner.{key} must be a positive integer, got {value!r}"
                     )
+        # Values must be rejected *before* the metadata is persisted:
+        # registration writes the store first and builds the session
+        # second, so anything that only fails inside the LOCAT
+        # constructor would poison the store and crash every later
+        # rehydration of the whole service.
+        if tuner.get("surrogate_mode", "full") not in ("full", "incremental"):
+            raise ValueError(
+                "tuner.surrogate_mode must be 'full' or 'incremental', "
+                f"got {tuner['surrogate_mode']!r}"
+            )
         if not CONTROLLER_KEYS.issuperset(controller):
             raise ValueError(
                 f"unknown controller settings: {sorted(set(controller) - CONTROLLER_KEYS)}"

@@ -1,0 +1,31 @@
+"""The surrogate engine: incremental GPs and vectorized EI-MCMC.
+
+This layer sits between :mod:`repro.bo` (kernels, GP regression, slice
+sampling) and :mod:`repro.core` (DAGP, the BO loop).  It packages the
+three mechanisms that keep the optimizer time of a long tuning session
+from being dominated by redundant O(n^3) refits:
+
+* :class:`~repro.surrogate.protocol.Surrogate` — the structural
+  interface (``fit`` / ``extend`` / ``predict`` / ``acquisition``) that
+  :class:`~repro.bo.gp.GaussianProcess` and
+  :class:`~repro.core.dagp.DatasizeAwareGP` implement and that the BO
+  loop, LOCAT, and the GP-backed baselines consume.
+* :func:`~repro.surrogate.incremental.cholesky_append` and
+  :class:`~repro.surrogate.incremental.LMLCache` — the exact rank-k
+  Cholesky update behind ``extend`` and the per-theta memo behind the
+  slice sampler's log-marginal-likelihood evaluations.
+* :class:`~repro.surrogate.stack.ModelStack` — the ``n_mcmc`` posterior
+  hyper-parameter samples held as stacked ``(chol, alpha)`` state and
+  evaluated in one vectorized pass, replacing the per-clone Python loop.
+"""
+
+from repro.surrogate.incremental import LMLCache, cholesky_append
+from repro.surrogate.protocol import Surrogate
+from repro.surrogate.stack import ModelStack
+
+__all__ = [
+    "LMLCache",
+    "ModelStack",
+    "Surrogate",
+    "cholesky_append",
+]

@@ -1,0 +1,66 @@
+"""The ``Surrogate`` protocol: what the BO loop requires of a model.
+
+The loop (and every GP-backed consumer above it) needs exactly four
+capabilities: train from scratch, append observations without a full
+refit, predict, and score an acquisition function.  Anything providing
+those — the plain :class:`~repro.bo.gp.GaussianProcess`, the
+:class:`~repro.core.dagp.DatasizeAwareGP`, or a future multi-task or
+neural surrogate — can drive a tuning session.
+
+The protocol is *structural* (:pep:`544`): implementations do not
+inherit from it, they just provide the methods.  Signatures are kept
+loose on purpose — the GP takes ``(x, y)`` while the DAGP takes
+``(config_points, datasizes_gb, durations_s)`` — because the loop is
+always written against one concrete input convention; what the protocol
+pins down is the *lifecycle*:
+
+``fit``
+    Train from scratch on the full observation set.  Always allowed;
+    resets any incremental state.
+
+``extend``
+    Append observations to an already-fitted model.  Must be
+    *algebraically exact*: the posterior after ``extend`` equals the
+    posterior of a from-scratch ``fit`` on the concatenated data up to
+    floating-point round-off (see
+    :func:`~repro.surrogate.incremental.cholesky_append`).  Cost is
+    O(n^2 k) for k new rows instead of the O(n^3) refit.
+
+``predict``
+    Posterior mean and standard deviation at query points.
+
+``acquisition``
+    Scores to *maximize* (expected improvement in this repository),
+    marginalized over hyper-parameter posterior samples when the
+    implementation carries them.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Surrogate(Protocol):
+    """Structural interface of every surrogate model in the engine."""
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once ``fit`` (or a fit-delegating ``extend``) has run."""
+        ...
+
+    def fit(self, *args, **kwargs):
+        """Train from scratch; returns ``self``."""
+        ...
+
+    def extend(self, *args, **kwargs):
+        """Append observations via exact incremental updates; returns ``self``."""
+        ...
+
+    def predict(self, *args, **kwargs):
+        """Posterior mean (and optionally standard deviation) at query points."""
+        ...
+
+    def acquisition(self, *args, **kwargs):
+        """Acquisition scores (to maximize) at query points."""
+        ...

@@ -1,0 +1,244 @@
+"""Stacked multi-model state for EI-MCMC acquisition.
+
+EI-MCMC (Snoek et al. 2012) marginalizes the acquisition function over
+``n_mcmc`` posterior samples of the GP hyper-parameters.  The historic
+implementation materialized one fitted :class:`~repro.bo.gp.GaussianProcess`
+clone per sample and looped over them in Python for every acquisition
+call — hundreds of calls per BO iteration, each paying per-clone kernel
+builds and Python dispatch.
+
+:class:`ModelStack` keeps the per-sample state as stacked arrays
+(``thetas``, Cholesky factors, ``alpha`` vectors) over one shared
+training set and evaluates all models' posteriors in a single
+vectorized pass: the cross-covariance tensors for every sample are built
+with one broadcast distance computation, and only the per-sample BLAS
+calls (one gemv for the mean, one triangular solve for the variance —
+kept per-model so the floats match the historic per-clone predictions
+exactly) remain a tiny loop.  It also supports the engine's incremental
+contract: ``extend`` performs the exact rank-k Cholesky append *per
+sample*, so appending observations never refits any of the ``n_mcmc``
+models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_solve, cholesky
+
+from repro.bo.acquisition import expected_improvement
+from repro.bo.kernels import stacked_cross
+from repro.surrogate.incremental import cholesky_append
+
+_JITTER = 1e-8
+
+
+class ModelStack:
+    """``n_mcmc`` GP posteriors at sampled hyper-parameters, stacked.
+
+    All models share the training inputs and (standardized) targets;
+    they differ only in their hyper-parameter vector ``theta = [log
+    signal, log lengthscales..., log noise]``.  Construction factorizes
+    each model once; afterwards prediction and acquisition are
+    vectorized over the sample axis and ``extend`` appends observations
+    with exact rank-k updates.
+    """
+
+    def __init__(
+        self,
+        kernels: list,
+        noises: np.ndarray,
+        lowers: list[np.ndarray],
+        alphas: list[np.ndarray],
+        x: np.ndarray,
+        y_mean: float,
+        y_std: float,
+        thetas: list[np.ndarray],
+        precisions: list[np.ndarray] | None = None,
+    ):
+        self.kernels = kernels
+        self.noises = np.asarray(noises, dtype=float)
+        self.lowers = lowers
+        self.alphas = alphas
+        self._x = np.asarray(x, dtype=float)
+        self._y_mean = float(y_mean)
+        self._y_std = float(y_std)
+        self.thetas = [np.asarray(t, dtype=float) for t in thetas]
+        #: Fast mode: per-model precision matrices K^-1, letting
+        #: prediction run as pure batched matmuls (no per-model
+        #: triangular solves).  None = exact mode, whose floats match
+        #: the historic per-clone loop bit for bit.
+        self.precisions = precisions
+
+    @property
+    def fast(self) -> bool:
+        """True when precision matrices power batched-matmul prediction."""
+        return self.precisions is not None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_gp(cls, gp, thetas: list[np.ndarray], fast: bool = False) -> "ModelStack":
+        """Factorize the GP's training set at each hyper-parameter sample.
+
+        Equivalent to ``[gp.clone_with_theta(t) for t in thetas]`` — each
+        model's ``(chol, alpha)`` is computed from the same covariance a
+        fitted clone would build — without constructing GP objects.
+
+        ``fast=True`` additionally materializes each model's precision
+        matrix (one O(n^3/3) triangular solve per model, paid once per
+        MCMC refresh) so every later acquisition call is a batched
+        matmul instead of per-model triangular solves.  Fast-mode
+        posteriors are mathematically identical but not bit-identical to
+        the exact mode; the engine uses it only on the incremental path,
+        never on the bit-for-bit ``surrogate_mode="full"`` path.
+        """
+        if not gp.is_fitted:
+            raise RuntimeError("ModelStack requires a fitted GP")
+        if not thetas:
+            raise ValueError("ModelStack needs at least one hyper-parameter sample")
+        x = gp.training_inputs
+        y = gp.standardized_targets
+        extra = gp.extra_noise_vector
+        kernels, noises, lowers, alphas = [], [], [], []
+        precisions: list[np.ndarray] | None = [] if fast else None
+        for theta in thetas:
+            theta = np.asarray(theta, dtype=float)
+            kernel = gp.kernel.clone()
+            kernel.set_theta(theta[:-1])
+            noise = float(np.exp(theta[-1]))
+            k = kernel(x, x)
+            k[np.diag_indices_from(k)] += noise + _JITTER
+            if extra is not None:
+                k[np.diag_indices_from(k)] += extra
+            lower = cholesky(k, lower=True, check_finite=False)
+            kernels.append(kernel)
+            noises.append(noise)
+            lowers.append(lower)
+            alphas.append(cho_solve((lower, True), y, check_finite=False))
+            if precisions is not None:
+                precisions.append(
+                    cho_solve((lower, True), np.eye(x.shape[0]), check_finite=False)
+                )
+        return cls(
+            kernels, np.asarray(noises), lowers, alphas,
+            x, gp.target_mean, gp.target_std, list(thetas),
+            precisions=precisions,
+        )
+
+    @property
+    def n_models(self) -> int:
+        return len(self.lowers)
+
+    @property
+    def n_samples(self) -> int:
+        return self._x.shape[0]
+
+    # ------------------------------------------------------------------
+    # Vectorized kernel evaluation over the sample axis
+    # ------------------------------------------------------------------
+    def _cross(self, x2: np.ndarray) -> np.ndarray:
+        """Cross-covariance tensor ``(n_models, n_train, n_query)``.
+
+        Delegates to :func:`repro.bo.kernels.stacked_cross` — the
+        covariance formulas live next to their scalar counterparts, and
+        per-slice results match each kernel's own ``__call__`` exactly.
+        """
+        return stacked_cross(self.kernels, self._x, x2)
+
+    # ------------------------------------------------------------------
+    # Posterior and acquisition
+    # ------------------------------------------------------------------
+    def predict(self, x_star: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean/std per model, ``(n_models, n_query)`` each.
+
+        Outputs are de-standardized to raw target units, matching
+        ``GaussianProcess.predict`` model by model.
+        """
+        x_star = np.atleast_2d(np.asarray(x_star, dtype=float))
+        k_star = self._cross(x_star)  # (S, n, m)
+        signal = np.array([k.signal_variance for k in self.kernels])
+        if self.precisions is not None:
+            # Fast mode: quadratic forms through the precision matrices —
+            # two batched matmuls, zero per-model scipy dispatch.
+            v_stack = np.stack(self.precisions)
+            quad = np.sum(k_star * np.matmul(v_stack, k_star), axis=1)  # (S, m)
+            means = np.einsum("snm,sn->sm", k_star, np.stack(self.alphas))
+            means = means * self._y_std + self._y_mean
+            var = signal[:, None] + self.noises[:, None] - quad
+            stds = np.sqrt(np.maximum(var, 1e-12)) * self._y_std
+            return means, stds
+        means = np.empty((self.n_models, x_star.shape[0]))
+        stds = np.empty_like(means)
+        for s in range(self.n_models):
+            # Per-model BLAS gemv keeps the accumulation order (and thus
+            # the exact floats) of the historic per-clone predictions;
+            # the expensive part — the kernel tensor — is built once
+            # above for all models.
+            means[s] = k_star[s].T @ self.alphas[s] * self._y_std + self._y_mean
+            v = cho_solve((self.lowers[s], True), k_star[s], check_finite=False)
+            var = signal[s] + self.noises[s] - np.sum(k_star[s] * v, axis=0)
+            stds[s] = np.sqrt(np.maximum(var, 1e-12)) * self._y_std
+        return means, stds
+
+    def acquisition(self, x_star: np.ndarray, best: float) -> np.ndarray:
+        """EI averaged over the hyper-parameter samples (to maximize)."""
+        means, stds = self.predict(x_star)
+        total = np.zeros(means.shape[1])
+        for s in range(self.n_models):
+            total += expected_improvement(means[s], stds[s], best)
+        return total / self.n_models
+
+    # ------------------------------------------------------------------
+    # Incremental extension
+    # ------------------------------------------------------------------
+    def extend(
+        self,
+        x_new: np.ndarray,
+        y_standardized: np.ndarray,
+        y_mean: float,
+        y_std: float,
+        extra_noise_new: np.ndarray | None = None,
+    ) -> "ModelStack":
+        """Append observations to every stacked model, rank-k, in place.
+
+        ``y_standardized`` is the *full* standardized target vector after
+        the append (appending shifts the shared target standardization,
+        which only touches the ``alpha`` solves — the covariance factors
+        are target-free).  ``extra_noise_new`` is per-new-row additional
+        observation noise (standardized units), mirroring
+        :meth:`repro.bo.gp.GaussianProcess.extend`.
+        """
+        x_new = np.atleast_2d(np.asarray(x_new, dtype=float))
+        y_standardized = np.asarray(y_standardized, dtype=float).ravel()
+        if y_standardized.shape[0] != self.n_samples + x_new.shape[0]:
+            raise ValueError("y_standardized must cover old and new rows")
+        n_new = x_new.shape[0]
+        for s in range(self.n_models):
+            kernel = self.kernels[s]
+            b = kernel(self._x, x_new)
+            c = kernel(x_new, x_new)
+            c[np.diag_indices_from(c)] += self.noises[s] + _JITTER
+            if extra_noise_new is not None:
+                c[np.diag_indices_from(c)] += np.asarray(extra_noise_new, dtype=float).ravel()
+            self.lowers[s] = cholesky_append(self.lowers[s], b, c)
+            self.alphas[s] = cho_solve((self.lowers[s], True), y_standardized, check_finite=False)
+            if self.precisions is not None:
+                # Block-inverse update, O(n^2 k): with W = K^-1 B and the
+                # Schur complement S = C - B^T W,
+                #   [[K, B], [B^T, C]]^-1 =
+                #   [[V + W S^-1 W^T, -W S^-1], [-S^-1 W^T, S^-1]].
+                v = self.precisions[s]
+                w = v @ b
+                schur = c - b.T @ w
+                schur_chol = cholesky(schur, lower=True, check_finite=False)
+                schur_inv = cho_solve((schur_chol, True), np.eye(n_new), check_finite=False)
+                ws = w @ schur_inv
+                grown = np.block([[v + ws @ w.T, -ws], [-ws.T, schur_inv]])
+                # Keep the quadratic forms stable across many rank-k
+                # updates: the formula is symmetric, round-off is not.
+                self.precisions[s] = (grown + grown.T) / 2.0
+        self._x = np.vstack([self._x, x_new])
+        self._y_mean = float(y_mean)
+        self._y_std = float(y_std)
+        return self

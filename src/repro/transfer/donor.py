@@ -49,7 +49,12 @@ DEFAULT_MIN_OBSERVATIONS = 6
 
 #: How many donor observations a plan transplants (the run-table tail
 #: plus the donor's best row): enough to shape a GP prior, small enough
-#: that refitting the surrogate stays cheap.
+#: that the surrogate engine's warm fits stay cheap.  Donor rows enter
+#: the DAGP once, as warm data at the first fit of a session's BO loop;
+#: the engine's incremental ``extend`` path then appends only the
+#: session's own observations (donor rows are never re-transplanted),
+#: so the transplant size bounds a one-off cost, not a per-iteration
+#: one.
 DEFAULT_MAX_OBSERVATIONS = 30
 
 

@@ -342,6 +342,30 @@ class TestTuningRegistry:
         assert "bad-0" not in registry
         assert not store.has_app("bad-0")
 
+    def test_surrogate_mode_is_a_tenant_setting(self, tmp_path):
+        store = HistoryStore(tmp_path / "store")
+        registry = TuningRegistry(store)
+        session = registry.register(
+            "app", "scan", seed=1, tuner={**TINY_TUNER, "surrogate_mode": "incremental"}
+        )
+        assert session.locat.surrogate_mode == "incremental"
+        # The mode is persisted and survives rehydration.
+        rehydrated = TuningRegistry(HistoryStore(tmp_path / "store"))
+        assert rehydrated.get("app").locat.surrogate_mode == "incremental"
+
+    def test_invalid_surrogate_mode_rejected_before_persisting(self, tmp_path):
+        """Value (not just key) validation must run before the store write:
+        a rejected registration that left its meta behind would crash
+        every later rehydration of the whole service."""
+        store = HistoryStore(tmp_path / "store")
+        registry = TuningRegistry(store)
+        with pytest.raises(ValueError, match="surrogate_mode"):
+            registry.register("bad", "scan", tuner={"surrogate_mode": "turbo"})
+        assert "bad" not in registry
+        assert not store.has_app("bad")
+        # The store stays rehydratable.
+        TuningRegistry(HistoryStore(tmp_path / "store"))
+
     def test_planned_slots_reserve_parallelism_only_for_tuning(self, tmp_path):
         registry = TuningRegistry(HistoryStore(tmp_path / "store"))
         session = registry.register(

@@ -1,0 +1,557 @@
+"""Surrogate-engine tests: exact increments, vectorized EI, pinned runs.
+
+Three layers of guarantees:
+
+* **Algebraic equivalence** — ``extend()`` (GP, ModelStack, DAGP)
+  matches a from-scratch ``fit()`` on the concatenated data to tight
+  tolerance, and the vectorized multi-model acquisition matches the
+  historic per-clone Python loop exactly.
+* **Engine behavior** — LML memoization, warm-started chains, the
+  fidelity-toggle hyper-parameter carry-over, and the MCMC refresh
+  cadence of the incremental path.
+* **Pinned seeded trajectories** — a ``BOLoop.minimize`` run and a full
+  ``LOCAT.tune`` session captured on the pre-engine implementation must
+  reproduce bit for bit on the refactored default (``surrogate_mode=
+  "full"``) path: the engine's internal restructuring (memoized
+  non-mutating LML, stacked models, clean Cholesky factors) must not
+  change a single float or RNG draw.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bo.gp import GaussianProcess
+from repro.bo.kernels import Matern52Kernel, RBFKernel
+from repro.bo.mcmc import slice_sample_chain, slice_sample_hyperparameters
+from repro.core import LOCAT
+from repro.core.dagp import DatasizeAwareGP
+from repro.core.tuner import BOLoop
+from repro.sparksim import SparkSQLSimulator, get_application
+from repro.sparksim.cluster import get_cluster
+from repro.surrogate import LMLCache, ModelStack, Surrogate, cholesky_append
+
+
+def quadratic(point, datasize):
+    """Minimum 10*ds at point = 0.3 (per dimension)."""
+    return float(10.0 * (datasize / 100.0) * (1.0 + np.sum((point - 0.3) ** 2)))
+
+
+def make_gp(n=25, dim=3, seed=0, kernel_cls=Matern52Kernel, noise=1e-3):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, dim))
+    y = np.sin(3 * x[:, 0]) + 0.5 * x[:, 1] + 0.1 * rng.normal(size=n)
+    gp = GaussianProcess(kernel_cls(dim=dim, lengthscale=0.4), noise_variance=noise)
+    return gp, x, y
+
+
+class TestCholeskyAppend:
+    def test_matches_full_factorization(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((12, 4))
+        gp, x, y = make_gp(n=12, dim=4, seed=1)
+        k_full = gp.kernel(a, a)
+        k_full[np.diag_indices_from(k_full)] += 0.01
+        from scipy.linalg import cholesky
+
+        reference = cholesky(k_full, lower=True)
+        for split in (1, 5, 11):
+            lower = cholesky(k_full[:split, :split], lower=True)
+            grown = cholesky_append(
+                lower, k_full[:split, split:], k_full[split:, split:]
+            )
+            np.testing.assert_allclose(grown, reference, rtol=1e-10, atol=1e-12)
+
+    def test_shape_validation(self):
+        lower = np.eye(3)
+        with pytest.raises(ValueError):
+            cholesky_append(lower, np.zeros((2, 1)), np.ones((1, 1)))
+        with pytest.raises(ValueError):
+            cholesky_append(lower, np.zeros((3, 2)), np.ones((1, 1)))
+
+    def test_non_positive_definite_raises(self):
+        lower = np.eye(2)
+        # New point identical to an old one with zero noise: singular.
+        k_cross = np.array([[1.0], [0.0]])
+        k_new = np.array([[1.0]])
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky_append(lower, k_cross, k_new)
+
+
+class TestLMLCache:
+    def test_hit_returns_identical_float(self):
+        cache = LMLCache()
+        theta = np.array([0.1, -0.2, 0.3])
+        assert cache.get(theta) is None
+        cache.put(theta, -12.345678901234567)
+        assert cache.get(theta) == -12.345678901234567
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_clear_and_cap(self):
+        cache = LMLCache(maxsize=2)
+        for i in range(3):
+            cache.put(np.array([float(i)]), float(i))
+        assert len(cache) <= 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            LMLCache(maxsize=0)
+
+
+class TestGPExtend:
+    @pytest.mark.parametrize("kernel_cls", [Matern52Kernel, RBFKernel])
+    def test_extend_matches_fit(self, kernel_cls):
+        gp, x, y = make_gp(n=30, dim=3, seed=2, kernel_cls=kernel_cls)
+        gp.fit(x[:22], y[:22]).extend(x[22:], y[22:])
+        ref, _, _ = make_gp(n=30, dim=3, seed=2, kernel_cls=kernel_cls)
+        ref.fit(x, y)
+        xs = np.random.default_rng(3).random((9, 3))
+        mean_a, std_a = gp.predict(xs)
+        mean_b, std_b = ref.predict(xs)
+        np.testing.assert_allclose(mean_a, mean_b, rtol=1e-9, atol=1e-11)
+        np.testing.assert_allclose(std_a, std_b, rtol=1e-7, atol=1e-10)
+        assert gp.log_marginal_likelihood() == pytest.approx(
+            ref.log_marginal_likelihood(), rel=1e-9
+        )
+
+    def test_extend_restandardizes_targets(self):
+        gp, x, y = make_gp(n=20, dim=3, seed=4)
+        gp.fit(x[:10], y[:10]).extend(x[10:], y[10:] + 50.0)
+        assert gp.target_mean == pytest.approx(
+            float(np.mean(np.concatenate([y[:10], y[10:] + 50.0])))
+        )
+
+    def test_extend_with_extra_noise_matches_fit(self):
+        gp, x, y = make_gp(n=24, dim=3, seed=5)
+        extra = np.linspace(0.0, 0.4, 24)
+        gp.fit(x[:18], y[:18], extra_noise=extra[:18])
+        gp.extend(x[18:], y[18:], extra_noise=extra[18:])
+        ref, _, _ = make_gp(n=24, dim=3, seed=5)
+        ref.fit(x, y, extra_noise=extra)
+        xs = np.random.default_rng(6).random((5, 3))
+        np.testing.assert_allclose(gp.predict(xs)[0], ref.predict(xs)[0], rtol=1e-9)
+        np.testing.assert_allclose(gp.predict(xs)[1], ref.predict(xs)[1], rtol=1e-7)
+
+    def test_extend_unfitted_delegates_to_fit(self):
+        gp, x, y = make_gp(n=10, dim=3, seed=7)
+        gp.extend(x, y)
+        assert gp.is_fitted and gp.n_samples == 10
+
+    def test_extend_validates_inputs(self):
+        gp, x, y = make_gp(n=10, dim=3, seed=8)
+        gp.fit(x, y)
+        with pytest.raises(ValueError):
+            gp.extend(np.zeros((2, 2)), np.zeros(2))  # wrong dim
+        with pytest.raises(ValueError):
+            gp.extend(np.zeros((2, 3)), np.array([1.0, np.nan]))
+
+    def test_shallow_copy_is_isolated(self):
+        gp, x, y = make_gp(n=15, dim=3, seed=9)
+        gp.fit(x[:10], y[:10])
+        before = gp.n_samples
+        copy = gp.shallow_copy()
+        copy.extend(x[10:], y[10:])
+        assert gp.n_samples == before
+        assert copy.n_samples == 15
+        # The original's posterior is untouched.
+        xs = x[:3]
+        ref, _, _ = make_gp(n=15, dim=3, seed=9)
+        ref.fit(x[:10], y[:10])
+        np.testing.assert_array_equal(gp.predict(xs)[0], ref.predict(xs)[0])
+
+    def test_memoized_lml_matches_mutating_path(self):
+        gp, x, y = make_gp(n=18, dim=3, seed=10)
+        gp.fit(x, y)
+        theta = gp.get_theta() + 0.4
+        memoized = gp.log_marginal_likelihood(theta)
+        # Reference: the historic mutate-and-restore computation.
+        clone = gp.clone_with_theta(theta)
+        assert memoized == clone.log_marginal_likelihood()
+        # Second evaluation is a cache hit returning the identical float.
+        assert gp.log_marginal_likelihood(theta) == memoized
+        assert gp._lml_cache.hits >= 1
+
+
+class TestModelStack:
+    @pytest.fixture()
+    def fitted(self):
+        gp, x, y = make_gp(n=35, dim=4, seed=11)
+        gp.fit(x, y)
+        rng = np.random.default_rng(12)
+        thetas = [gp.get_theta() + rng.normal(0, 0.3, gp.n_hyperparameters) for _ in range(5)]
+        return gp, thetas
+
+    def test_batched_ei_matches_per_model_loop_exactly(self, fitted):
+        gp, thetas = fitted
+        stack = ModelStack.from_gp(gp, thetas)
+        xs = np.random.default_rng(13).random((40, 4))
+        best = float(np.min(gp.standardized_targets) * gp.target_std + gp.target_mean)
+        batched = stack.acquisition(xs, best)
+        # Historic reference: fitted clones, Python loop, running sum.
+        from repro.bo.acquisition import expected_improvement
+
+        total = np.zeros(len(xs))
+        for theta in thetas:
+            clone = gp.clone_with_theta(theta)
+            mean, std = clone.predict(xs)
+            total += expected_improvement(mean, std, best)
+        np.testing.assert_array_equal(batched, total / len(thetas))
+
+    def test_predict_matches_clones_exactly(self, fitted):
+        gp, thetas = fitted
+        stack = ModelStack.from_gp(gp, thetas)
+        xs = np.random.default_rng(14).random((11, 4))
+        means, stds = stack.predict(xs)
+        for i, theta in enumerate(thetas):
+            clone = gp.clone_with_theta(theta)
+            mean, std = clone.predict(xs)
+            np.testing.assert_array_equal(means[i], mean)
+            np.testing.assert_array_equal(stds[i], std)
+
+    def test_extend_matches_rebuild(self, fitted):
+        gp, thetas = fitted
+        stack = ModelStack.from_gp(gp, thetas)
+        x_new = np.random.default_rng(15).random((3, 4))
+        y_new = np.sin(3 * x_new[:, 0]) + 0.5 * x_new[:, 1]
+        gp.extend(x_new, y_new)
+        stack.extend(x_new, gp.standardized_targets, gp.target_mean, gp.target_std)
+        rebuilt = ModelStack.from_gp(gp, thetas)
+        xs = np.random.default_rng(16).random((7, 4))
+        m_inc, s_inc = stack.predict(xs)
+        m_ref, s_ref = rebuilt.predict(xs)
+        np.testing.assert_allclose(m_inc, m_ref, rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(s_inc, s_ref, rtol=1e-6, atol=1e-9)
+
+    def test_fast_mode_matches_exact_mode(self, fitted):
+        gp, thetas = fitted
+        exact = ModelStack.from_gp(gp, thetas)
+        fast = ModelStack.from_gp(gp, thetas, fast=True)
+        assert fast.fast and not exact.fast
+        xs = np.random.default_rng(30).random((25, 4))
+        m_e, s_e = exact.predict(xs)
+        m_f, s_f = fast.predict(xs)
+        np.testing.assert_allclose(m_f, m_e, rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(s_f, s_e, rtol=1e-6, atol=1e-9)
+
+    def test_fast_mode_extend_matches_rebuild(self, fitted):
+        gp, thetas = fitted
+        fast = ModelStack.from_gp(gp, thetas, fast=True)
+        x_new = np.random.default_rng(31).random((4, 4))
+        y_new = np.sin(3 * x_new[:, 0]) + 0.5 * x_new[:, 1]
+        gp.extend(x_new, y_new)
+        fast.extend(x_new, gp.standardized_targets, gp.target_mean, gp.target_std)
+        rebuilt = ModelStack.from_gp(gp, thetas, fast=True)
+        xs = np.random.default_rng(32).random((9, 4))
+        m_inc, s_inc = fast.predict(xs)
+        m_ref, s_ref = rebuilt.predict(xs)
+        np.testing.assert_allclose(m_inc, m_ref, rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(s_inc, s_ref, rtol=1e-5, atol=1e-8)
+
+    def test_requires_fitted_gp_and_samples(self):
+        gp, _, _ = make_gp()
+        with pytest.raises(RuntimeError):
+            ModelStack.from_gp(gp, [np.zeros(5)])
+        gp2, x, y = make_gp(n=8, dim=3, seed=17)
+        gp2.fit(x, y)
+        with pytest.raises(ValueError):
+            ModelStack.from_gp(gp2, [])
+
+
+class TestSliceChain:
+    @pytest.fixture()
+    def fitted_gp(self):
+        gp, x, y = make_gp(n=20, dim=2, seed=18)
+        return gp.fit(x, y)
+
+    def test_deterministic_under_seed(self, fitted_gp):
+        a, state_a = slice_sample_chain(fitted_gp, n_samples=4, burn_in=5, rng=0)
+        b, state_b = slice_sample_chain(fitted_gp, n_samples=4, burn_in=5, rng=0)
+        np.testing.assert_array_equal(np.stack(a), np.stack(b))
+        np.testing.assert_array_equal(state_a, state_b)
+
+    def test_warm_start_resumes_from_state(self, fitted_gp):
+        _, state = slice_sample_chain(fitted_gp, n_samples=3, burn_in=8, rng=1)
+        warm, _ = slice_sample_chain(
+            fitted_gp, n_samples=3, burn_in=0, rng=2, initial_theta=state
+        )
+        cold, _ = slice_sample_chain(fitted_gp, n_samples=3, burn_in=0, rng=2)
+        # Same draws, different starting states => different chains.
+        assert not np.allclose(np.stack(warm), np.stack(cold))
+
+    def test_samples_are_fresh_states_not_duplicates(self, fitted_gp):
+        samples, _ = slice_sample_chain(fitted_gp, n_samples=6, burn_in=4, rng=3)
+        assert len(samples) == 6
+        for i in range(len(samples)):
+            for j in range(i + 1, len(samples)):
+                assert samples[i] is not samples[j]
+
+    def test_invalid_thin_and_burn_in(self, fitted_gp):
+        with pytest.raises(ValueError):
+            slice_sample_chain(fitted_gp, n_samples=2, thin=0)
+        with pytest.raises(ValueError):
+            slice_sample_chain(fitted_gp, n_samples=2, burn_in=-1)
+
+    def test_initial_theta_shape_checked(self, fitted_gp):
+        with pytest.raises(ValueError):
+            slice_sample_chain(fitted_gp, n_samples=2, initial_theta=np.zeros(2))
+
+    def test_gp_state_untouched(self, fitted_gp):
+        before = fitted_gp.get_theta().copy()
+        slice_sample_hyperparameters(fitted_gp, n_samples=3, burn_in=3, rng=4)
+        np.testing.assert_array_equal(fitted_gp.get_theta(), before)
+
+
+def synthetic_observations(seed=20, n=30):
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, 2))
+    datasizes = rng.choice([100.0, 300.0, 500.0], size=n)
+    durations = 100.0 * (1 + 4 * (points[:, 0] - 0.7) ** 2) * datasizes / 100.0
+    return points, datasizes, durations
+
+
+class TestDAGPEngine:
+    def test_extend_matches_fit_point_estimate(self):
+        points, datasizes, durations = synthetic_observations()
+        inc = DatasizeAwareGP(config_dim=2, n_mcmc=0)
+        inc.fit(points[:22], datasizes[:22], durations[:22])
+        inc.extend(points[22:], datasizes[22:], durations[22:])
+        ref = DatasizeAwareGP(config_dim=2, n_mcmc=0).fit(points, datasizes, durations)
+        xs = np.random.default_rng(21).random((10, 2))
+        m_inc, s_inc = inc.predict(xs, 300.0)
+        m_ref, s_ref = ref.predict(xs, 300.0)
+        np.testing.assert_allclose(m_inc, m_ref, rtol=1e-9, atol=1e-11)
+        np.testing.assert_allclose(s_inc, s_ref, rtol=1e-7, atol=1e-10)
+        best = float(durations.min())
+        np.testing.assert_allclose(
+            inc.acquisition(xs, 300.0, best), ref.acquisition(xs, 300.0, best),
+            rtol=1e-7, atol=1e-12,
+        )
+
+    def test_extend_with_mcmc_keeps_acquisition_sane(self):
+        points, datasizes, durations = synthetic_observations(seed=22)
+        model = DatasizeAwareGP(config_dim=2, n_mcmc=4)
+        model.fit(points[:20], datasizes[:20], durations[:20], rng=0)
+        model.extend(points[20:], datasizes[20:], durations[20:], rng=0)
+        xs = np.random.default_rng(23).random((12, 2))
+        ei = model.acquisition(xs, 300.0, float(durations.min()))
+        assert ei.shape == (12,)
+        assert np.all(np.isfinite(ei)) and np.all(ei >= -1e-12)
+        assert model.n_observations == 30
+
+    def test_mcmc_refresh_cadence(self):
+        points, datasizes, durations = synthetic_observations(seed=24, n=40)
+        model = DatasizeAwareGP(config_dim=2, n_mcmc=3, mcmc_refresh_every=3)
+        model.fit(points[:30], datasizes[:30], durations[:30], rng=1)
+        assert not model._stack.fast  # fit builds the exact (bit-for-bit) stack
+        # The first extend refreshes the chain and converts the stack to
+        # the fast precision-matrix form...
+        model.extend(points[30:31], datasizes[30:31], durations[30:31], rng=1)
+        assert model._stack.fast
+        thetas_after_refresh = [t.copy() for t in model._theta_samples]
+        # ...the next two extends reuse the samples (rank-1 stack updates
+        # only), and the third advances the chain again.
+        for i in (31, 32):
+            model.extend(points[i : i + 1], datasizes[i : i + 1], durations[i : i + 1], rng=1)
+            assert all(
+                np.array_equal(a, b)
+                for a, b in zip(thetas_after_refresh, model._theta_samples)
+            )
+        model.extend(points[33:34], datasizes[33:34], durations[33:34], rng=1)
+        assert not all(
+            np.array_equal(a, b)
+            for a, b in zip(thetas_after_refresh, model._theta_samples)
+        )
+
+    def test_fidelity_toggle_carries_hyperparameters(self):
+        """Satellite fix: toggling the fidelity column on/off must not
+        reset the learned kernel hyper-parameters to the constructor
+        defaults on the shared (config + datasize) dimensions."""
+        points, datasizes, durations = synthetic_observations(seed=25)
+        model = DatasizeAwareGP(config_dim=2, n_mcmc=0)
+        model.fit(points, datasizes, durations)
+        learned = np.array([0.11, 0.22, 0.33])  # config x2 + datasize
+        model.gp.kernel.lengthscales = learned.copy()
+        model.gp.kernel.signal_variance = 2.5
+        fidelities = np.zeros(30)
+        fidelities[:5] = 1.0
+        model.fit(points, datasizes, durations, fidelities=fidelities)
+        assert model._with_fidelity
+        assert model.gp.kernel.dim == 4
+        np.testing.assert_array_equal(model.gp.kernel.lengthscales[:3], learned)
+        assert model.gp.kernel.lengthscales[3] == pytest.approx(0.5)  # fresh axis
+        assert model.gp.kernel.signal_variance == pytest.approx(2.5)
+        # ...and toggling back off drops the fidelity axis but keeps the rest.
+        model.gp.kernel.lengthscales[:] = [0.4, 0.5, 0.6, 0.7]
+        model.fit(points, datasizes, durations)
+        assert not model._with_fidelity
+        assert model.gp.kernel.dim == 3
+        np.testing.assert_allclose(model.gp.kernel.lengthscales, [0.4, 0.5, 0.6])
+
+    def test_extend_fidelity_toggle_falls_back_to_fit(self):
+        points, datasizes, durations = synthetic_observations(seed=26)
+        model = DatasizeAwareGP(config_dim=2, n_mcmc=0)
+        model.fit(points[:25], datasizes[:25], durations[:25])
+        model.extend(
+            points[25:], datasizes[25:], durations[25:], fidelities=np.ones(5)
+        )
+        assert model._with_fidelity
+        assert model.n_observations == 30
+        ref = DatasizeAwareGP(config_dim=2, n_mcmc=0).fit(
+            points, datasizes, durations,
+            fidelities=np.concatenate([np.zeros(25), np.ones(5)]),
+        )
+        xs = np.random.default_rng(27).random((6, 2))
+        np.testing.assert_allclose(
+            model.predict(xs, 300.0)[0], ref.predict(xs, 300.0)[0], rtol=1e-9
+        )
+
+    def test_point_estimate_copy_is_isolated(self):
+        points, datasizes, durations = synthetic_observations(seed=28)
+        model = DatasizeAwareGP(config_dim=2, n_mcmc=4)
+        model.fit(points, datasizes, durations, rng=2)
+        copy = model.point_estimate_copy()
+        copy.extend(points[:2], datasizes[:2], np.array([40.0, 41.0]))
+        assert copy.n_observations == 32
+        assert model.n_observations == 30
+        assert copy.n_mcmc == 0 and copy._stack is None
+        # Original's MCMC machinery still intact.
+        assert len(model._theta_samples) == 4
+
+    def test_surrogate_protocol(self):
+        gp, x, y = make_gp()
+        dagp = DatasizeAwareGP(config_dim=2)
+        assert isinstance(gp, Surrogate)
+        assert isinstance(dagp, Surrogate)
+
+
+class TestIncrementalBOLoop:
+    def test_converges_on_quadratic(self):
+        loop = BOLoop(dim=2, n_init=3, min_iterations=5, max_iterations=20,
+                      n_mcmc=4, surrogate_mode="incremental", rng=0)
+        trace = loop.minimize(quadratic, 100.0)
+        _, duration = trace.best(100.0)
+        assert duration < 12.0  # optimum is 10
+
+    def test_budget_respected(self):
+        loop = BOLoop(dim=2, n_init=3, min_iterations=8, max_iterations=8,
+                      n_mcmc=2, ei_threshold=0.0, surrogate_mode="incremental", rng=1)
+        trace = loop.minimize(quadratic, 100.0)
+        assert trace.n_evaluations == 8
+
+    def test_matches_full_mode_without_mcmc(self):
+        """With n_mcmc=0 no RNG is consumed by surrogate fits, so the
+        incremental engine walks the same candidate stream as full mode;
+        exact rank-1 extends keep the trajectories numerically together."""
+        full = BOLoop(dim=2, n_init=3, min_iterations=6, max_iterations=6,
+                      n_mcmc=0, ei_threshold=0.0, rng=5).minimize(quadratic, 100.0)
+        inc = BOLoop(dim=2, n_init=3, min_iterations=6, max_iterations=6,
+                     n_mcmc=0, ei_threshold=0.0, surrogate_mode="incremental",
+                     rng=5).minimize(quadratic, 100.0)
+        assert full.n_evaluations == inc.n_evaluations
+        np.testing.assert_allclose(
+            np.stack(full.points), np.stack(inc.points), atol=1e-6
+        )
+
+    def test_batch_proposals_distinct_with_incremental_liar(self):
+        def evaluate_batch(batch_points, ds):
+            return np.array([quadratic(p, ds) for p in np.atleast_2d(batch_points)])
+
+        loop = BOLoop(dim=2, n_init=4, min_iterations=4, max_iterations=12,
+                      n_mcmc=0, ei_threshold=0.0, batch_size=4,
+                      surrogate_mode="incremental", rng=11)
+        trace = loop.minimize(quadratic, 100.0, evaluate_batch=evaluate_batch)
+        batch = np.stack(trace.points[4:8])
+        for i in range(len(batch)):
+            for j in range(i + 1, len(batch)):
+                assert not np.allclose(batch[i], batch[j])
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            BOLoop(dim=2, surrogate_mode="turbo")
+        with pytest.raises(ValueError):
+            LOCAT(None, None, surrogate_mode="turbo")
+
+
+#: Captured on the pre-engine implementation (commit 5d66fec) with the
+#: exact setups below; the refactored default path must reproduce every
+#: float.  See the module docstring.
+PINNED_BO_LOOP = {
+    "points": [
+        [0.8789872291071514, 0.27109007973342414],
+        [0.08992890458795677, 0.9709185257592405],
+        [0.3469911746453982, 0.5355452585890599],
+        [0.25091643552845216, 0.31151560633472575],
+        [0.19715618099979665, 0.3343155489827936],
+        [0.2036607719917038, 0.36020374520570797],
+        [0.1549735369837825, 0.0],
+    ],
+    "durations": [
+        13.36061994958997,
+        14.942615333345683,
+        10.576897393383414,
+        10.02541805490489,
+        10.11754408008537,
+        10.129057377900283,
+        11.110326749749944,
+    ],
+    "ei_values": [
+        0.028568623337807214,
+        0.030155632702855678,
+        0.025178093818222103,
+        0.03848069226144816,
+        0.031048646061602504,
+    ],
+    "stopped_by_ei": True,
+}
+
+PINNED_LOCAT_DURATIONS = [
+    105.2736750449609,
+    75.66955769421257,
+    216.0672438303209,
+    100.92531795465439,
+    345.1488918823474,
+    1990.9731010956084,
+    159.67871009187397,
+    108.7860403319758,
+    77.33574829594397,
+    81.66670697270212,
+    77.3732367087909,
+    131.44638052573654,
+    139.66618335997867,
+    77.73612740695178,
+    83.78190088706536,
+    83.47289125817453,
+    78.93363874277898,
+]
+
+PINNED_LOCAT_BEST = 75.66955769421257
+
+
+class TestPinnedTrajectories:
+    def test_bo_loop_trajectory_bit_for_bit(self):
+        loop = BOLoop(dim=2, n_init=3, min_iterations=5, max_iterations=9,
+                      n_mcmc=4, rng=0)
+        trace = loop.minimize(quadratic, 100.0)
+        assert trace.stopped_by_ei == PINNED_BO_LOOP["stopped_by_ei"]
+        assert [list(map(float, p)) for p in trace.points] == PINNED_BO_LOOP["points"]
+        assert [float(d) for d in trace.durations] == PINNED_BO_LOOP["durations"]
+        assert [float(e) for e in trace.ei_values] == PINNED_BO_LOOP["ei_values"]
+
+    def test_locat_session_bit_for_bit(self):
+        simulator = SparkSQLSimulator(get_cluster("x86"))
+        locat = LOCAT(
+            simulator,
+            get_application("join"),
+            n_qcsa=8,
+            n_iicp=8,
+            max_iterations=6,
+            min_iterations=3,
+            n_mcmc=2,
+            use_polish=False,
+            rng=7,
+        )
+        result = locat.tune(150.0)
+        durations = [float(t.duration_s) for t in locat.objective.history]
+        assert durations == PINNED_LOCAT_DURATIONS
+        assert float(result.best_duration_s) == PINNED_LOCAT_BEST
