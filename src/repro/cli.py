@@ -115,6 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
         "one: 'transfer' seeds new tenants from the most similar existing "
         "tenant's history (default: cold)",
     )
+    serve.add_argument(
+        "--drift-detector", default="ph", choices=("ph", "cusum", "ratio"),
+        help="default drift-detection mode for tenants that do not set "
+        "controller.detector themselves: 'ph' (Page-Hinkley over the "
+        "DAGP's standardized residuals, the default), 'cusum', or "
+        "'ratio' (the legacy fixed-window heuristic)",
+    )
     return parser
 
 
@@ -302,6 +309,7 @@ def cmd_serve(args) -> int:
     service = TuningService(
         args.store, host=args.host, port=args.port, n_workers=args.workers,
         eval_workers=args.eval_workers, default_warm_start=args.warm_start,
+        default_detector=args.drift_detector,
     )
     rehydrated = service.registry.app_ids()
     print(f"tuning service listening on {service.url} (store: {args.store})")

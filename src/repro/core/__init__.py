@@ -5,11 +5,21 @@
   Parameters (CPS via Spearman correlation + CPE via Kernel PCA),
 * :mod:`repro.core.dagp` — the Datasize-Aware Gaussian Process surrogate,
 * :mod:`repro.core.tuner` — the EI-MCMC BO loop with LOCAT's stop rule,
-* :mod:`repro.core.locat` — the end-to-end orchestrator.
+* :mod:`repro.core.locat` — the end-to-end orchestrator,
+* :mod:`repro.core.drift` — sequential drift detectors for the online
+  controller (:mod:`repro.core.online`).
 """
 
 from repro.core.dagp import DatasizeAwareGP
 from repro.core.datasize import normalize_datasize
+from repro.core.drift import (
+    CusumDetector,
+    DriftDetector,
+    DurationPrediction,
+    PageHinkleyDetector,
+    RatioDriftDetector,
+    make_detector,
+)
 from repro.core.iicp import CPEResult, CPSResult, IICP, IICPResult
 from repro.core.locat import LOCAT
 from repro.core.objective import SparkSQLObjective, Trial
@@ -20,16 +30,22 @@ from repro.core.result import TuningResult
 __all__ = [
     "CPEResult",
     "CPSResult",
+    "CusumDetector",
     "DatasizeAwareGP",
+    "DriftDetector",
+    "DurationPrediction",
     "EvalRequest",
     "IICP",
     "IICPResult",
     "LOCAT",
+    "PageHinkleyDetector",
     "ParallelEvaluator",
     "QCSA",
     "QCSAResult",
+    "RatioDriftDetector",
     "SparkSQLObjective",
     "Trial",
     "TuningResult",
+    "make_detector",
     "normalize_datasize",
 ]

@@ -374,7 +374,16 @@ class DatasizeAwareGP:
         return self.gp.predict(self._query_inputs(config_points, datasize_gb))
 
     def predict_duration(self, config_points: np.ndarray, datasize_gb: float) -> np.ndarray:
-        """Posterior median execution time in seconds."""
+        """Posterior median execution time in seconds.
+
+        The online drift path consumes :meth:`predict` directly (via
+        :meth:`repro.core.locat.LOCAT.predict_log_duration`) and
+        standardizes residuals in
+        :class:`repro.core.drift.DurationPrediction`, where the
+        deploy-time calibration offset and the detector-side std floor
+        and clipping live — keep that the single z-score
+        implementation.
+        """
         mean, _ = self.predict(config_points, datasize_gb)
         return np.exp(mean)
 

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.dagp import DatasizeAwareGP
 from repro.core.datasize import normalize_datasize
 from repro.core.iicp import CPSResult, DEFAULT_N_IICP, IICP, IICPResult, run_cpe, run_cps
 from repro.core.objective import SparkSQLObjective, Trial
@@ -102,6 +103,7 @@ class LOCAT:
         transfer_from: TransferPlan | None = None,
         n_transfer_bootstrap: int = DEFAULT_N_TRANSFER_BOOTSTRAP,
         surrogate_mode: str = "full",
+        n_adapt_iterations: int | None = None,
         rng: int | np.random.Generator | None = None,
     ):
         self.simulator = simulator
@@ -130,6 +132,35 @@ class LOCAT:
         #: reproducible path), "incremental" reuses one engine per loop
         #: with exact rank-k extends and warm-started MCMC chains.
         self.surrogate_mode = surrogate_mode
+        if n_adapt_iterations is not None and int(n_adapt_iterations) < 1:
+            raise ValueError("n_adapt_iterations must be at least 1")
+        #: BO budget of a drift-triggered :meth:`adapt` session; None
+        #: derives about a third of the full budget.
+        self._n_adapt_iterations = (
+            None if n_adapt_iterations is None else int(n_adapt_iterations)
+        )
+        #: Cached point-estimate DAGP over the observation history, used
+        #: by :meth:`predict_log_duration` (the online drift path).
+        self._predictor: DatasizeAwareGP | None = None
+        self._predictor_iicp: IICPResult | None = None
+        self._predictor_count = 0
+        self._predictor_boundary = 0
+        #: Index below which observations predate the latest drift
+        #: retune (set by partial :meth:`adapt` sessions).  The
+        #: environment shifted at that boundary, so the monitoring
+        #: predictor demotes older rows to the low-fidelity prior —
+        #: the same quarantine the session surrogate applies — instead
+        #: of blending stale-environment durations at full weight.
+        #: Persisted with the deployed state (the calibration offset
+        #: was anchored against the quarantined predictor, so the two
+        #: must survive a restart together) and restored via
+        #: :meth:`restore_stale_boundary`.
+        self._stale_before = 0
+        #: The same boundary in objective-trial indices (in-process
+        #: only — a restarted objective starts with an empty history,
+        #: so every restored trial index is post-restart by
+        #: construction).
+        self._stale_trials_before = 0
         #: Bias-corrected donor observations (never persisted, never in
         #: :attr:`observation_history`); filled by a transfer bootstrap.
         self._transfer_observations: list[_Observation] = []
@@ -471,6 +502,102 @@ class LOCAT:
         else:
             self.iicp_result = _identity_iicp(self.objective.space, IICP())
 
+    # ------------------------------------------------------------------
+    # Online prediction (the drift path)
+    # ------------------------------------------------------------------
+    @property
+    def n_adapt_iterations(self) -> int:
+        """BO budget of a partial :meth:`adapt` session.
+
+        Defaults to about a third of the full ``max_iterations`` — the
+        surrogate is warm, so a drift retune only needs enough fresh
+        evaluations to re-anchor it, not a full search.
+        """
+        if self._n_adapt_iterations is not None:
+            return min(self._n_adapt_iterations, self.max_iterations)
+        return max(2, min(self.max_iterations, (self.max_iterations + 2) // 3))
+
+    @property
+    def stale_before(self) -> int:
+        """Observations below this index predate the latest drift retune."""
+        return self._stale_before
+
+    def restore_stale_boundary(self, n: int) -> None:
+        """Rehydrate the drift-quarantine boundary persisted by a
+        previous process (clamped to the restored history length).
+
+        Without it, a restart after a drift retune would refit the
+        monitoring predictor with pre-drift rows back at full weight
+        while keeping the calibration that was anchored against the
+        quarantined predictor — a systematically low expectation that
+        spuriously re-alarms.
+        """
+        self._stale_before = max(0, min(int(n), len(self._observations)))
+
+    def _refresh_predictor(self) -> DatasizeAwareGP | None:
+        """The cached point-estimate DAGP over all observations.
+
+        Fit once per manifold (a session's :meth:`_refit_cpe` replaces
+        ``iicp_result``, invalidating the latent geometry), then grown
+        by exact rank-k extends as observations arrive — steady-state
+        drift checks never pay a refit.  Rows behind the latest drift
+        boundary (:attr:`_stale_before`) enter at fidelity 1: they
+        describe a pre-drift environment and must shape, not dominate,
+        the expectation production runs are checked against.
+        """
+        iicp = self.iicp_result
+        if iicp is None or len(self._observations) < 4:
+            return None
+        count = len(self._observations)
+        stale = min(self._stale_before, count)
+        if (
+            self._predictor is not None
+            and self._predictor_iicp is iicp
+            and self._predictor_boundary == stale
+        ):
+            if count > self._predictor_count:
+                new = self._observations[self._predictor_count:]
+                self._predictor.extend(
+                    np.stack([iicp.encode(o.config) for o in new]),
+                    np.array([o.datasize_gb for o in new]),
+                    np.array([o.rqa_duration_s for o in new]),
+                )
+                self._predictor_count = count
+            return self._predictor
+        predictor = DatasizeAwareGP(iicp.n_components, n_mcmc=0)
+        predictor.fit(
+            np.stack([iicp.encode(o.config) for o in self._observations]),
+            np.array([o.datasize_gb for o in self._observations]),
+            np.array([o.rqa_duration_s for o in self._observations]),
+            fidelities=(
+                np.array([1.0] * stale + [0.0] * (count - stale)) if stale else None
+            ),
+        )
+        self._predictor = predictor
+        self._predictor_iicp = iicp
+        self._predictor_count = count
+        self._predictor_boundary = stale
+        return predictor
+
+    def predict_log_duration(
+        self, config: Configuration, datasize_gb: float
+    ) -> tuple[float, float] | None:
+        """Posterior (mean, std) of the log RQA duration of one config.
+
+        This is what the online controller compares production runs
+        against: the same DAGP knowledge the tuner pays to maintain,
+        with an uncertainty estimate the nearest-run heuristic never
+        had.  None before the bootstrap (or with under 4 observations).
+        """
+        predictor = self._refresh_predictor()
+        if predictor is None:
+            return None
+        assert self.iicp_result is not None
+        mean, std = predictor.predict(
+            self.iicp_result.encode(config), normalize_datasize(datasize_gb)
+        )
+        return float(mean[0]), float(std[0])
+
     #: Parameters whose defaults assume a tiny cluster; their tuned values
     #: are always kept (the starred rows of Table 2 plus executor count).
     RESOURCE_PARAMETERS = frozenset(
@@ -493,7 +620,9 @@ class LOCAT:
     def _best_observation(self) -> _Observation:
         return min(self._observations, key=lambda o: o.rqa_duration_s)
 
-    def _polish(self, datasize_gb: float, csq: list[str], top_k: int = 12) -> None:
+    def _polish(
+        self, datasize_gb: float, csq: list[str], top_k: int = 12, since: int = 0
+    ) -> None:
         """Greedy coordinate polish of the incumbent, evaluated on the RQA.
 
         This is the exploitation end-game of "only tune the important
@@ -502,13 +631,18 @@ class LOCAT:
         squeezes out the remaining gains EI no longer considers worth an
         evaluation.  Boolean parameters are flipped outright (a small
         encoded step never crosses their 0.5 rounding boundary).
+        ``since`` restricts the incumbent to observations recorded from
+        that index on (partial sessions quarantine pre-drift rows).
         """
         assert self.iicp_result is not None
         space = self.objective.space
         scc = self.iicp_result.cps.scc
         ranked = sorted(space.names, key=lambda n: -abs(scc.get(n, 0.0)))
-        names = list(dict.fromkeys(list(self.RESOURCE_PARAMETERS & set(space.names)) + ranked[:top_k]))
-        at_ds = [o for o in self._observations if o.datasize_gb == datasize_gb]
+        # Sorted, not raw set order: frozenset iteration depends on the
+        # process hash seed, which silently made polish trajectories —
+        # and therefore tuned configurations — differ between processes.
+        names = list(dict.fromkeys(sorted(self.RESOURCE_PARAMETERS & set(space.names)) + ranked[:top_k]))
+        at_ds = [o for o in self._observations[since:] if o.datasize_gb == datasize_gb]
         if not at_ds:
             return
         incumbent = min(at_ds, key=lambda o: o.rqa_duration_s)
@@ -631,14 +765,65 @@ class LOCAT:
             # next session lazily recreates the pool anyway.
             self.evaluator.close()
 
-    def _tune(self, datasize_gb: float) -> TuningResult:
+    def adapt(self, datasize_gb: float, max_iterations: int | None = None) -> TuningResult:
+        """A *partial* tuning session for drift-triggered retunes.
+
+        The surrogate already knows the configuration space — the
+        environment merely shifted under it — so the session runs a
+        reduced BO budget (:attr:`n_adapt_iterations` unless
+        overridden) over the incremental surrogate engine, warm-started
+        from the full observation history.  Everything else matches a
+        regular adaptation session: the incumbent is re-anchored at the
+        target datasize, the result is validated with one full run, and
+        the observations land in :attr:`observation_history` for
+        persistence.  Falls back to a full :meth:`tune` when nothing is
+        bootstrapped yet (there is no knowledge to warm-start from).
+        """
+        if not self.is_bootstrapped:
+            return self.tune(datasize_gb)
+        if max_iterations is not None and int(max_iterations) < 1:
+            raise ValueError("max_iterations must be at least 1")
+        budget = self.n_adapt_iterations if max_iterations is None else int(max_iterations)
+        try:
+            return self._tune(datasize_gb, partial=True, budget=budget)
+        finally:
+            self.evaluator.close()
+
+    def _tune(
+        self, datasize_gb: float, partial: bool = False, budget: int | None = None
+    ) -> TuningResult:
         datasize_gb = normalize_datasize(datasize_gb)
+        # Session budgets: a partial (drift) session caps the iterations
+        # and always runs the incremental engine — extending a warm
+        # surrogate is the whole point; the default path keeps the
+        # configured mode so full sessions stay bit-for-bit reproducible.
+        session_max = self.max_iterations if budget is None else min(budget, self.max_iterations)
+        session_min = max(1, session_max // 3) if partial else self.min_iterations
+        session_surrogate = "incremental" if partial else self.surrogate_mode
         overhead_before = self.objective.overhead_s
         evals_before = self.objective.n_evaluations
         fresh_session = not self.is_bootstrapped
         self.bootstrap(datasize_gb)
         assert self.iicp_result is not None
         csq = self.csq
+        # A partial (drift) session quarantines everything measured
+        # before it: the environment shifted, so historical durations
+        # are systematically off by an unknown factor.  Pre-session
+        # rows enter the surrogate as a low-fidelity prior (the same
+        # mechanism that quarantines transfer donors — shape, not
+        # scale) while only measurements taken *this* session anchor
+        # the incumbent, the polish, and the final selection.  The
+        # boundary is remembered so the online monitoring predictor —
+        # and every *later* session, full ones included — applies the
+        # same demotion: a datasize-margin session after a drift event
+        # must not blend pre-drift durations back in at full weight.
+        session_start = len(self._observations) if partial else 0
+        if partial:
+            self._stale_before = session_start
+            self._stale_trials_before = evals_before
+        quarantine = session_start if partial else min(
+            self._stale_before, len(self._observations)
+        )
 
         # Adaptation sessions start by re-measuring the incumbent from the
         # nearest previously tuned datasize: one cheap RQA run anchors the
@@ -658,6 +843,26 @@ class LOCAT:
             self._observations.append(
                 _Observation(carry.config, datasize_gb, trial.duration_s)
             )
+
+        # A partial (drift) session always re-measures the incumbent in
+        # the *current* environment: drift retunes fire at an
+        # already-tuned datasize, so the block above is skipped, yet the
+        # quarantine means only in-session rows compete for the final
+        # selection.  Without this anchor a session whose few fresh
+        # evaluations all landed on poor configurations could deploy
+        # something strictly worse than what is already running.
+        if partial and not any(
+            o.datasize_gb == datasize_gb for o in self._observations[session_start:]
+        ):
+            stale = self._observations[:session_start]
+            stale_at_ds = [o for o in stale if o.datasize_gb == datasize_gb]
+            pool = stale_at_ds or stale
+            if pool:
+                carry = min(pool, key=lambda o: o.rqa_duration_s)
+                trial = self.objective.run_subset(carry.config, datasize_gb, csq)
+                self._observations.append(
+                    _Observation(carry.config, datasize_gb, trial.duration_s)
+                )
 
         # An accepted transfer re-measures the donor's best configuration
         # on the target RQA (once, in the first session after the
@@ -681,14 +886,14 @@ class LOCAT:
 
         iterations_done = 0
         stopped_by_ei = False
-        while iterations_done < self.max_iterations and not stopped_by_ei:
+        while iterations_done < session_max and not stopped_by_ei:
             # Refit the KPCA manifold over everything observed so far.
             # Every executed configuration is then a manifold training
             # point, making encode/decode round-trips exact for all warm
             # observations — the GP sees a consistent latent geometry.
             self._refit_cpe()
             iicp = self.iicp_result
-            chunk = min(self.refit_interval, self.max_iterations - iterations_done)
+            chunk = min(self.refit_interval, session_max - iterations_done)
 
             def evaluate(latent: np.ndarray, ds: float) -> float:
                 config = iicp.decode(latent)
@@ -712,13 +917,19 @@ class LOCAT:
                 return np.array([t.duration_s for t in trials])
 
             if self.use_dagp:
-                warm_own = list(self._observations)
-                # Donor observations ride along as a low-fidelity prior;
-                # they shape the surrogate but never the incumbent, the
+                warm_own = list(self._observations[quarantine:])
+                # Donor observations — and everything behind the drift
+                # boundary — ride along as a low-fidelity prior; they
+                # shape the surrogate but never the incumbent, the
                 # stop rule, or the persisted history.
-                transfer = list(self._transfer_observations)
+                transfer = list(self._transfer_observations) + list(
+                    self._observations[:quarantine]
+                )
             else:
-                warm_own = [o for o in self._observations if o.datasize_gb == datasize_gb]
+                warm_own = [
+                    o for o in self._observations[quarantine:]
+                    if o.datasize_gb == datasize_gb
+                ]
                 transfer = []
             warm = transfer + warm_own
             n_warm = len(warm)
@@ -735,12 +946,12 @@ class LOCAT:
                 dim=iicp.n_components,
                 bounds=iicp.latent_bounds(),
                 n_init=3,
-                min_iterations=max(0, self.min_iterations - iterations_done),
+                min_iterations=max(0, session_min - iterations_done),
                 max_iterations=chunk,
                 ei_threshold=self.ei_threshold,
                 n_mcmc=self.n_mcmc,
                 batch_size=self.n_workers,
-                surrogate_mode=self.surrogate_mode,
+                surrogate_mode=session_surrogate,
                 rng=self.rng,
             )
             trace = loop.minimize(
@@ -759,7 +970,10 @@ class LOCAT:
         # re-polish the resource parameters (the drift DAGP must correct
         # when the datasize changes is in memory and parallelism).
         if self.use_polish:
-            self._polish(datasize_gb, csq, top_k=12 if fresh_session else 0)
+            self._polish(
+                datasize_gb, csq, top_k=12 if fresh_session else 0,
+                since=quarantine,
+            )
 
         # Best configuration by RQA duration at this datasize, plus a
         # default-reset refinement: parameters CPS classified unimportant
@@ -768,7 +982,10 @@ class LOCAT:
         # tuned values, since their defaults assume a tiny cluster).  Both
         # candidates cost one RQA run each; the winner is validated with
         # one full-application run.  All runs count toward the overhead.
-        at_ds = [o for o in self._observations if o.datasize_gb == datasize_gb]
+        at_ds = [
+            o for o in self._observations[quarantine:]
+            if o.datasize_gb == datasize_gb
+        ]
         best_obs = min(at_ds, key=lambda o: o.rqa_duration_s)
         candidates = [best_obs.config]
         reset_config = self._reset_unimportant_to_defaults(best_obs.config)
@@ -784,10 +1001,22 @@ class LOCAT:
         best_config = min(scored, key=lambda s: s[0])[1]
         validation = self.objective.run(best_config, datasize_gb)
         best_duration = validation.duration_s
-        incumbent = self.objective.best_trial(datasize_gb)
-        if incumbent.duration_s < best_duration:
-            best_config = incumbent.config
-            best_duration = incumbent.duration_s
+        # Only post-drift full-application runs may re-anchor the
+        # result: a pre-drift trial's duration describes an environment
+        # that no longer exists, and deploying on it would pin the
+        # calibration (and the next drift check) to stale seconds.
+        # Partial sessions restrict further, to this session's runs.
+        trials_floor = evals_before if partial else self._stale_trials_before
+        fresh_full = [
+            t for t in self.objective.history[trials_floor:]
+            if not t.reduced and t.datasize_gb == datasize_gb
+        ]
+        # Never empty: the validation run above is full, at this
+        # datasize, and recorded after the floor.
+        incumbent_trial = min(fresh_full, key=lambda t: t.duration_s)
+        if incumbent_trial.duration_s < best_duration:
+            best_config = incumbent_trial.config
+            best_duration = incumbent_trial.duration_s
 
         return TuningResult(
             tuner=self.NAME,
@@ -802,6 +1031,7 @@ class LOCAT:
                 "iicp_selected": list(self.iicp_result.selected),
                 "n_latent_dims": self.iicp_result.n_components,
                 "stopped_by_ei": stopped_by_ei,
+                "partial": partial,
                 "csq": list(csq),
                 "transfer": self.transfer_state,
                 "transfer_donor": (

@@ -4,13 +4,28 @@ The paper's deployment story (section 3.1) is an application that "runs
 repeatedly many times with the size of input data changing over time".
 This controller wraps a :class:`~repro.core.locat.LOCAT` instance and
 watches the production runs: each incoming (datasize, duration)
-observation is checked against the DAGP-backed expectation for the
-currently deployed configuration, and a tuning session is triggered
-when
+observation is checked against the expectation for the currently
+deployed configuration, and a tuning session is triggered when
 
 * a datasize arrives that is far from anything tuned so far, or
 * measured durations drift above the expectation (the model of the
   deployed config is stale — data distribution or cluster changed).
+
+Expectations come from the DAGP surrogate LOCAT already maintains
+(posterior mean *and* uncertainty of the deployed configuration at any
+datasize, calibrated to full-application scale at deploy time), and
+drift is decided by a pluggable sequential change detector
+(:mod:`repro.core.drift`): Page–Hinkley by default, CUSUM as an
+alternative, and ``detector="ratio"`` for the original fixed-window
+heuristic bit for bit.
+
+Drift-triggered retunes are *partial* sessions
+(:meth:`~repro.core.locat.LOCAT.adapt`): a reduced BO budget over the
+incremental surrogate engine, warm-started from the full observation
+history — the model is merely stale, not absent, so a handful of fresh
+evaluations re-anchors it at a fraction of a cold session's cost.
+Datasize-margin retunes keep the full budget (a genuinely new operating
+point deserves a full search).
 
 This is the glue a production user needs around the core algorithm; the
 paper leaves it implicit.
@@ -18,14 +33,48 @@ paper leaves it implicit.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.datasize import normalize_datasize
+from repro.core.drift import (
+    LOG_STD_FLOOR,
+    NEAREST_LOG_STD,
+    DriftDetector,
+    DurationPrediction,
+    make_detector,
+)
 from repro.core.locat import LOCAT
 from repro.core.result import TuningResult
 from repro.sparksim.configspace import Configuration
+
+#: Cap multiplier on the legacy-store calibration anchor: a deployment
+#: restored without a persisted ``log_offset`` may calibrate on its
+#: first measured run only up to this factor over the nearest-run
+#: (RQA-scale) expectation — generous enough for the systematic
+#: full-application/RQA gap, tight enough that an already-in-progress
+#: 2x drift cannot disguise itself as the baseline.
+LEGACY_CALIBRATION_ALLOWANCE = 1.5
+
+
+def config_key(config: Configuration) -> tuple:
+    """Canonical identity of a configuration for history matching.
+
+    Exact ``Configuration.__eq__`` is too brittle across process
+    restarts: a configuration rehydrated from ``deployed.json`` must
+    match the LOCAT observations rehydrated from ``runs.jsonl``, and a
+    JSON float/type round trip (or any upstream arithmetic) may leave
+    the two off by one ulp — silently killing drift detection for the
+    rest of the service's life.  The key compares booleans as booleans
+    and every numeric value as a float rounded well below parameter
+    resolution, so equal logical configurations always collide.
+    """
+    return tuple(
+        (name, value if isinstance(value, bool) else round(float(value), 9))
+        for name, value in sorted(config.as_dict().items())
+    )
 
 
 @dataclass
@@ -38,13 +87,18 @@ class OnlineDecision:
     reason: str
     config: Configuration
     result: TuningResult | None = None
+    #: What caused a retune: "initial", "datasize", "drift" — or "none".
+    trigger: str = "none"
 
 
 @dataclass
 class _DeployedState:
     config: Configuration
     tuned_datasizes: list[float] = field(default_factory=list)
-    recent_ratios: list[float] = field(default_factory=list)
+    #: Additive log-space calibration from the DAGP's RQA-scale
+    #: prediction to full-application scale, measured at deploy time
+    #: from the session's validation run.  None until calibrated.
+    log_offset: float | None = None
 
 
 class OnlineController:
@@ -53,8 +107,20 @@ class OnlineController:
     ``datasize_margin`` — relative distance to the nearest tuned
     datasize beyond which a new size triggers adaptation (default 30%:
     tuned at 300 GB covers ~210-390 GB).
-    ``drift_factor`` / ``drift_patience`` — re-tune after ``patience``
-    consecutive runs slower than ``factor`` times the expected duration.
+    ``detector`` — drift-detection mode: ``"ph"`` (Page–Hinkley over
+    DAGP-standardized residuals, the default), ``"cusum"``, or
+    ``"ratio"`` (the original heuristic, bit for bit); a
+    :class:`~repro.core.drift.DriftDetector` instance plugs in a custom
+    detector.
+    ``drift_factor`` / ``drift_patience`` — ratio-mode parameters:
+    re-tune after ``patience`` consecutive runs slower than ``factor``
+    times the expected duration.
+    ``partial_retunes`` — drift-triggered retunes always run as
+    :meth:`~repro.core.locat.LOCAT.adapt` sessions (pre-drift history
+    quarantined, incumbent and calibration anchored on fresh
+    measurements — a full ``tune`` would re-anchor on stale pre-drift
+    trials and loop);  this flag only picks the BO budget: reduced
+    (default) or the full ``max_iterations``.
     """
 
     def __init__(
@@ -63,6 +129,8 @@ class OnlineController:
         datasize_margin: float = 0.3,
         drift_factor: float = 1.3,
         drift_patience: int = 3,
+        detector: str | DriftDetector = "ph",
+        partial_retunes: bool = True,
     ):
         if datasize_margin <= 0:
             raise ValueError("datasize_margin must be positive")
@@ -74,6 +142,13 @@ class OnlineController:
         self.datasize_margin = datasize_margin
         self.drift_factor = drift_factor
         self.drift_patience = drift_patience
+        self.partial_retunes = bool(partial_retunes)
+        if isinstance(detector, str):
+            self._detector: DriftDetector = make_detector(
+                detector, drift_factor=drift_factor, drift_patience=drift_patience
+            )
+        else:
+            self._detector = detector
         self._state: _DeployedState | None = None
 
     # ------------------------------------------------------------------
@@ -93,29 +168,62 @@ class OnlineController:
         return list(self._state.tuned_datasizes) if self._state is not None else []
 
     @property
+    def detector_name(self) -> str:
+        return self._detector.name
+
+    @property
+    def log_offset(self) -> float | None:
+        """The deploy-time model calibration offset (None pre-deploy)."""
+        return self._state.log_offset if self._state is not None else None
+
+    @property
     def recent_ratios(self) -> list[float]:
-        """The drift window: measured/expected ratios of the latest runs."""
-        return list(self._state.recent_ratios) if self._state is not None else []
+        """The ratio-mode drift window (empty for the model detectors)."""
+        return [float(r) for r in self._detector.state().get("recent_ratios", [])]
+
+    def detector_state(self) -> dict:
+        """JSON-safe detector snapshot for ``deployed.json``."""
+        return self._detector.state()
+
+    def drift_status(self) -> dict:
+        """JSON-safe drift diagnostics (served by ``GET /apps/<id>``)."""
+        status = dict(self._detector.status())
+        status["calibrated"] = (
+            self._detector.name == "ratio" or self.log_offset is not None
+        )
+        return status
 
     def restore_state(
         self,
         config: Configuration,
         tuned_datasizes: list[float],
         recent_ratios: list[float] | None = None,
+        detector_state: dict | None = None,
+        log_offset: float | None = None,
     ) -> None:
         """Rehydrate the deployed state persisted by a previous process.
 
         Together with :meth:`LOCAT.restore` this lets a restarted service
         resume exactly where it stopped: the deployed configuration, the
-        datasizes it covers, and the partially filled drift window.
+        datasizes it covers, the model calibration, and the partially
+        filled detector window.  ``recent_ratios`` is the legacy
+        pre-detector window format; stores written by this version
+        persist ``detector_state`` instead (both are accepted, newest
+        wins).
         """
         if not tuned_datasizes:
             raise ValueError("restore_state needs at least one tuned datasize")
         self._state = _DeployedState(
             config=config,
             tuned_datasizes=[normalize_datasize(d) for d in tuned_datasizes],
-            recent_ratios=[float(r) for r in (recent_ratios or [])],
+            log_offset=None if log_offset is None else float(log_offset),
         )
+        self._detector.reset()
+        if detector_state:
+            self._detector.restore(detector_state)
+        elif recent_ratios:
+            # Legacy deployed.json: only the ratio window was persisted.
+            self._detector.restore({"recent_ratios": [float(r) for r in recent_ratios]})
 
     def would_retune(self, datasize_gb: float) -> bool:
         """Whether an observe at this datasize *deterministically* starts
@@ -130,20 +238,59 @@ class OnlineController:
         nearest = min(self._state.tuned_datasizes, key=lambda d: abs(d - datasize_gb))
         return abs(datasize_gb - nearest) / nearest > self.datasize_margin
 
-    def _expected_duration(self, datasize_gb: float) -> float | None:
-        """Expected RQA-scaled duration of the deployed config at a size.
+    # ------------------------------------------------------------------
+    # Expectations
+    # ------------------------------------------------------------------
+    @property
+    def _uses_model(self) -> bool:
+        """Model-backed expectation for every detector except ratio mode
+        (whose decisions are pinned to the legacy nearest-run floats)."""
+        return self._detector.name != "ratio"
 
-        Uses the nearest tuned datasize's observed duration with linear
-        datasize scaling — deliberately simple and conservative.
-        """
+    def _nearest_prediction(self, datasize_gb: float) -> DurationPrediction | None:
+        """Legacy expectation: nearest run of the deployed config with
+        linear datasize scaling — deliberately simple and conservative.
+        Bit-for-bit the pre-detector ``_expected_duration`` floats."""
         assert self._state is not None
+        key = config_key(self._state.config)
         observations = [
-            o for o in self.locat._observations if o.config == self._state.config
+            o for o in self.locat._observations if config_key(o.config) == key
         ]
         if not observations:
             return None
         nearest = min(observations, key=lambda o: abs(o.datasize_gb - datasize_gb))
-        return nearest.rqa_duration_s * datasize_gb / nearest.datasize_gb
+        expected = nearest.rqa_duration_s * datasize_gb / nearest.datasize_gb
+        return DurationPrediction(
+            expected_s=expected,
+            log_mean=math.log(max(expected, 1e-9)),
+            log_std=NEAREST_LOG_STD,
+            source="nearest",
+        )
+
+    def _calibrate(self, datasize_gb: float, full_duration_s: float) -> None:
+        """Anchor the model's RQA-scale prediction to full-app seconds."""
+        assert self._state is not None
+        raw = self.locat.predict_log_duration(self._state.config, datasize_gb)
+        if raw is not None:
+            self._state.log_offset = (
+                math.log(max(float(full_duration_s), 1e-9)) - raw[0]
+            )
+
+    def _deploy(self, result: TuningResult, datasize_gb: float) -> None:
+        """Bookkeeping after any tuning session deployed a new config."""
+        state = self._state
+        assert state is not None
+        state.config = result.best_config
+        if datasize_gb not in state.tuned_datasizes:
+            state.tuned_datasizes.append(datasize_gb)
+        state.log_offset = None
+        self._detector.reset()
+        if self._uses_model:
+            # The session's validation run is a measured full-application
+            # duration of the freshly deployed config: the one clean
+            # anchor tying the DAGP's RQA-scale posterior to the scale
+            # production durations arrive in.
+            self._calibrate(datasize_gb, result.best_duration_s)
 
     # ------------------------------------------------------------------
     def observe(self, datasize_gb: float, duration_s: float | None = None) -> OnlineDecision:
@@ -161,16 +308,18 @@ class OnlineController:
 
         if self._state is None:
             result = self.locat.tune(datasize_gb)
-            self._state = _DeployedState(
-                config=result.best_config, tuned_datasizes=[datasize_gb]
-            )
+            self._state = _DeployedState(config=result.best_config)
+            self._deploy(result, datasize_gb)
             return OnlineDecision(
                 datasize_gb=datasize_gb,
-                duration_s=duration_s or result.best_duration_s,
+                # `duration_s or ...` would treat a measured 0.0 as
+                # missing; only None means "no measurement".
+                duration_s=result.best_duration_s if duration_s is None else duration_s,
                 retuned=True,
                 reason="initial tuning session",
                 config=result.best_config,
                 result=result,
+                trigger="initial",
             )
 
         state = self._state
@@ -180,46 +329,99 @@ class OnlineController:
             nearest = min(state.tuned_datasizes, key=lambda d: abs(d - datasize_gb))
             relative_gap = abs(datasize_gb - nearest) / nearest
             result = self.locat.tune(datasize_gb)
-            state.config = result.best_config
-            state.tuned_datasizes.append(datasize_gb)
-            state.recent_ratios.clear()
+            self._deploy(result, datasize_gb)
             return OnlineDecision(
                 datasize_gb=datasize_gb,
-                duration_s=duration_s or result.best_duration_s,
+                duration_s=result.best_duration_s if duration_s is None else duration_s,
                 retuned=True,
                 reason=f"datasize {datasize_gb:.0f}GB is {relative_gap:.0%} from "
                 f"nearest tuned size {nearest:.0f}GB",
                 config=result.best_config,
                 result=result,
+                trigger="datasize",
             )
 
         if duration_s is not None:
-            expected = self._expected_duration(datasize_gb)
-            if expected is not None:
-                state.recent_ratios.append(duration_s / max(expected, 1e-9))
-                state.recent_ratios = state.recent_ratios[-self.drift_patience :]
-                drifted = len(state.recent_ratios) >= self.drift_patience and all(
-                    r > self.drift_factor for r in state.recent_ratios
-                )
-                if drifted:
-                    result = self.locat.tune(datasize_gb)
-                    state.config = result.best_config
-                    if datasize_gb not in state.tuned_datasizes:
-                        state.tuned_datasizes.append(datasize_gb)
-                    state.recent_ratios.clear()
-                    return OnlineDecision(
-                        datasize_gb=datasize_gb,
-                        duration_s=duration_s,
-                        retuned=True,
-                        reason=f"{self.drift_patience} consecutive runs over "
-                        f"{self.drift_factor:.1f}x the expected duration",
-                        config=result.best_config,
-                        result=result,
+            prediction: DurationPrediction | None
+            if self._uses_model:
+                raw = self.locat.predict_log_duration(state.config, datasize_gb)
+                if raw is None:
+                    # No usable surrogate (a minimal restored history,
+                    # or a stubbed LOCAT): fall back to the legacy
+                    # expectation — a persisted calibration must never
+                    # leave drift detection silently dead.
+                    prediction = self._nearest_prediction(datasize_gb)
+                elif state.log_offset is None:
+                    # Deployment restored from a store that predates the
+                    # persisted calibration: anchor on this first
+                    # measured run (which therefore cannot alarm) and
+                    # detect drift from the next one on.  The anchor is
+                    # capped at the nearest-run expectation plus an
+                    # allowance — a restart often *follows* trouble, and
+                    # calibrating on an already-drifted run would bake
+                    # the slowdown into the baseline forever.  Under the
+                    # cap the drift stays visible as positive residuals;
+                    # at worst an extreme full-app/RQA ratio costs one
+                    # spurious partial retune, whose own validation run
+                    # then calibrates properly.
+                    anchor = math.log(max(float(duration_s), 1e-9))
+                    nearest = self._nearest_prediction(datasize_gb)
+                    if nearest is not None:
+                        # Clamped on *both* sides, asymmetrically like
+                        # the detectors themselves.  Above: at most the
+                        # allowance over the nearest-run expectation, so
+                        # an in-progress slowdown stays visible.  Below:
+                        # the nearest-run expectation itself — an
+                        # absurdly low first report (a client sending
+                        # 0.0) would otherwise calibrate the model to
+                        # expect near-instant runs and guarantee a
+                        # spurious alarm on the next normal one, while a
+                        # genuinely faster environment merely loses a
+                        # little sensitivity until the next retune
+                        # recalibrates properly.
+                        low = math.log(nearest.expected_s)
+                        high = math.log(
+                            nearest.expected_s * LEGACY_CALIBRATION_ALLOWANCE
+                        )
+                        anchor = min(max(anchor, low), high)
+                    state.log_offset = anchor - raw[0]
+                    prediction = None
+                else:
+                    log_mean = raw[0] + state.log_offset
+                    prediction = DurationPrediction(
+                        expected_s=float(np.exp(log_mean)),
+                        log_mean=float(log_mean),
+                        log_std=float(max(raw[1], LOG_STD_FLOOR)),
+                        source="model",
                     )
+            else:
+                prediction = self._nearest_prediction(datasize_gb)
+            if prediction is not None and self._detector.update(duration_s, prediction):
+                reason = self._detector.reason()
+                # Drift retunes always run as quarantined adapt sessions
+                # (stale pre-drift history must not anchor the incumbent
+                # or the calibration); partial_retunes only decides the
+                # BO budget: reduced (default) or the full budget.
+                result = self.locat.adapt(
+                    datasize_gb,
+                    max_iterations=(
+                        None if self.partial_retunes else self.locat.max_iterations
+                    ),
+                )
+                self._deploy(result, datasize_gb)
+                return OnlineDecision(
+                    datasize_gb=datasize_gb,
+                    duration_s=duration_s,
+                    retuned=True,
+                    reason=reason,
+                    config=result.best_config,
+                    result=result,
+                    trigger="drift",
+                )
 
         return OnlineDecision(
             datasize_gb=datasize_gb,
-            duration_s=duration_s or float("nan"),
+            duration_s=float("nan") if duration_s is None else duration_s,
             retuned=False,
             reason="deployed configuration still valid",
             config=state.config,

@@ -28,17 +28,19 @@ and the on-disk schema.
 """
 
 from repro.service.client import ServiceError, TuningClient
-from repro.service.registry import AppSession, TuningRegistry
+from repro.service.registry import AppSession, QuarantinedApplicationError, TuningRegistry
 from repro.service.scheduler import Job, JobScheduler
 from repro.service.server import TuningService
-from repro.service.store import HistoryStore, ObservationRecord
+from repro.service.store import CorruptRunTableError, HistoryStore, ObservationRecord
 
 __all__ = [
     "AppSession",
+    "CorruptRunTableError",
     "HistoryStore",
     "Job",
     "JobScheduler",
     "ObservationRecord",
+    "QuarantinedApplicationError",
     "ServiceError",
     "TuningClient",
     "TuningRegistry",

@@ -26,10 +26,12 @@ static fingerprint so later tenants can rank it as a donor.
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.core.drift import DETECTOR_MODES
 from repro.core.locat import LOCAT
 from repro.core.online import OnlineController, OnlineDecision
 from repro.service.store import (
@@ -54,17 +56,31 @@ TUNER_KEYS = frozenset(
         "min_iterations", "max_iterations", "ei_threshold", "n_mcmc",
         "refit_interval", "use_qcsa", "use_iicp", "use_dagp", "use_polish",
         "n_workers", "n_transfer_bootstrap", "surrogate_mode",
+        "n_adapt_iterations",
     }
 )
 
 #: OnlineController keyword arguments a tenant may override.
-CONTROLLER_KEYS = frozenset({"datasize_margin", "drift_factor", "drift_patience"})
+CONTROLLER_KEYS = frozenset(
+    {"datasize_margin", "drift_factor", "drift_patience", "detector",
+     "partial_retunes"}
+)
 
 #: How a new tenant's first bootstrap may be seeded.
 WARM_START_MODES = ("cold", "transfer")
 
 #: Minimum persisted tuning observations for a meaningful warm start.
 MIN_RESTORE_OBSERVATIONS = 3
+
+
+class QuarantinedApplicationError(RuntimeError):
+    """The tenant exists but its persisted state failed to rehydrate.
+
+    Distinct from ``KeyError`` (unknown application) so the HTTP layer
+    can answer 503 with the stored corruption message instead of a
+    misleading 404 — a client must never conclude the app was never
+    registered and try to re-register it.
+    """
 
 
 @dataclass
@@ -152,6 +168,7 @@ class AppSession:
             "observes": self.n_observes,
             "retunes": self.n_retunes,
             "tuned_datasizes": self.controller.tuned_datasizes,
+            "drift": self.controller.drift_status(),
         }
 
 
@@ -165,6 +182,7 @@ class TuningRegistry:
         default_eval_workers: int = 1,
         max_eval_workers: int | None = None,
         default_warm_start: str = "cold",
+        default_detector: str = "ph",
     ):
         if default_eval_workers < 1:
             raise ValueError("default_eval_workers must be at least 1")
@@ -175,9 +193,17 @@ class TuningRegistry:
                 f"default_warm_start must be one of {WARM_START_MODES}, "
                 f"got {default_warm_start!r}"
             )
+        if default_detector not in DETECTOR_MODES:
+            raise ValueError(
+                f"default_detector must be one of {DETECTOR_MODES}, "
+                f"got {default_detector!r}"
+            )
         self.store = store
         #: Warm-start mode for registrations that do not choose one.
         self.default_warm_start = default_warm_start
+        #: Drift-detector mode for tenants that do not set
+        #: ``controller.detector`` themselves (service-level default).
+        self.default_detector = default_detector
         #: Evaluation parallelism given to sessions whose tenants did not
         #: set ``tuner.n_workers`` themselves (service-level default).
         self.default_eval_workers = int(default_eval_workers)
@@ -186,10 +212,24 @@ class TuningRegistry:
         #: more concurrency than the machine was provisioned for.
         self.max_eval_workers = None if max_eval_workers is None else int(max_eval_workers)
         self._sessions: dict[str, AppSession] = {}
+        #: Tenants whose persisted state could not be rehydrated
+        #: (app_id -> error message).  They are excluded from
+        #: :attr:`app_ids` and :meth:`get` raises
+        #: :class:`QuarantinedApplicationError` (HTTP 503) until the
+        #: operator repairs the store — one tenant's corrupt run table
+        #: must not keep the whole multi-tenant service from starting.
+        self.quarantined: dict[str, str] = {}
         self._lock = threading.Lock()
         if rehydrate:
             for app_id in self.store.list_apps():
-                self._sessions[app_id] = self._rehydrate(app_id)
+                try:
+                    self._sessions[app_id] = self._rehydrate(app_id)
+                except Exception as exc:
+                    self.quarantined[app_id] = str(exc)
+                    print(
+                        f"warning: quarantined application {app_id!r}: {exc}",
+                        file=sys.stderr,
+                    )
 
     # ------------------------------------------------------------------
     # Registration and lookup
@@ -226,7 +266,7 @@ class TuningRegistry:
         controller = dict(controller or {})
         if not TUNER_KEYS.issuperset(tuner):
             raise ValueError(f"unknown tuner settings: {sorted(set(tuner) - TUNER_KEYS)}")
-        for key in ("n_workers", "n_transfer_bootstrap"):
+        for key in ("n_workers", "n_transfer_bootstrap", "n_adapt_iterations"):
             if key in tuner:
                 value = tuner[key]
                 if not isinstance(value, int) or isinstance(value, bool) or value < 1:
@@ -246,6 +286,18 @@ class TuningRegistry:
         if not CONTROLLER_KEYS.issuperset(controller):
             raise ValueError(
                 f"unknown controller settings: {sorted(set(controller) - CONTROLLER_KEYS)}"
+            )
+        if controller.get("detector", DETECTOR_MODES[0]) not in DETECTOR_MODES:
+            raise ValueError(
+                f"controller.detector must be one of {DETECTOR_MODES}, "
+                f"got {controller['detector']!r}"
+            )
+        if "partial_retunes" in controller and not isinstance(
+            controller["partial_retunes"], bool
+        ):
+            raise ValueError(
+                "controller.partial_retunes must be a boolean, "
+                f"got {controller['partial_retunes']!r}"
             )
         meta = {
             "benchmark": benchmark,
@@ -274,6 +326,11 @@ class TuningRegistry:
         try:
             return self._sessions[app_id]
         except KeyError:
+            if app_id in self.quarantined:
+                raise QuarantinedApplicationError(
+                    f"application {app_id!r} is quarantined (its persisted "
+                    f"state failed to rehydrate): {self.quarantined[app_id]}"
+                ) from None
             raise KeyError(f"unknown application {app_id!r}") from None
 
     def app_ids(self) -> list[str]:
@@ -304,7 +361,9 @@ class TuningRegistry:
             simulator, app, rng=int(meta.get("seed", 1)), transfer_from=plan,
             **tuner_kwargs,
         )
-        online = OnlineController(locat, **meta.get("controller", {}))
+        controller_kwargs = dict(meta.get("controller", {}))
+        controller_kwargs.setdefault("detector", self.default_detector)
+        online = OnlineController(locat, **controller_kwargs)
         return AppSession(
             app_id=app_id,
             benchmark=meta["benchmark"],
@@ -351,10 +410,26 @@ class TuningRegistry:
             session.restored = True
         deployment = self.store.load_deployment(app_id)
         if deployment is not None:
+            detector_state = deployment.get("detector_state")
+            persisted_detector = deployment.get("detector")
+            if (
+                persisted_detector is not None
+                and persisted_detector != session.controller.detector_name
+            ):
+                # The detector mode changed since the state was written
+                # (e.g. a new --drift-detector service default): its
+                # accumulators do not translate — start a fresh window
+                # rather than misreading another detector's state.
+                detector_state = None
             session.controller.restore_state(
                 config_from_dict(deployment["config"]),
                 deployment["tuned_datasizes"],
                 deployment.get("recent_ratios"),
+                detector_state=detector_state,
+                log_offset=deployment.get("log_offset"),
+            )
+            session.locat.restore_stale_boundary(
+                deployment.get("stale_tuning_rows", 0)
             )
         return session
 
@@ -447,7 +522,15 @@ class TuningRegistry:
                 {
                     "config": config_to_dict(session.controller.deployed_config),
                     "tuned_datasizes": session.controller.tuned_datasizes,
+                    # Legacy field, kept so a store written here stays
+                    # readable by pre-detector service versions.
                     "recent_ratios": session.controller.recent_ratios,
+                    "detector": session.controller.detector_name,
+                    "detector_state": session.controller.detector_state(),
+                    "log_offset": session.controller.log_offset,
+                    # The drift-quarantine boundary travels with the
+                    # calibration it was anchored against.
+                    "stale_tuning_rows": session.locat.stale_before,
                     "updated_at": now,
                 },
             )

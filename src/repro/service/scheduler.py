@@ -61,6 +61,13 @@ class Job:
     result: Any = None
     error: str | None = None
     done_event: threading.Event = field(default_factory=threading.Event)
+    #: The owning scheduler's lock; snapshots of the mutable lifecycle
+    #: fields are taken under it so an HTTP thread can never observe a
+    #: half-written transition (e.g. ``status == "done"`` with
+    #: ``finished_at`` still None) while a worker completes the job.
+    scheduler_lock: threading.Lock | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def finished(self) -> bool:
@@ -71,6 +78,12 @@ class Job:
 
     def to_json(self) -> dict:
         """JSON-safe view (the result itself is attached by the server)."""
+        if self.scheduler_lock is not None:
+            with self.scheduler_lock:
+                return self._to_json_locked()
+        return self._to_json_locked()
+
+    def _to_json_locked(self) -> dict:
         return {
             "job_id": self.job_id,
             "app_id": self.app_id,
@@ -150,6 +163,7 @@ class JobScheduler:
                 fn=fn,
                 slots=int(slots),
                 seq=number,
+                scheduler_lock=self._lock,
             )
             self._jobs[job.job_id] = job
             self._queues.setdefault(app_id, deque()).append(job)

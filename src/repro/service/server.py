@@ -38,9 +38,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.core.export import to_spark_defaults_conf, to_spark_properties
 from repro.core.online import OnlineDecision
-from repro.service.registry import TuningRegistry
+from repro.service.registry import QuarantinedApplicationError, TuningRegistry
 from repro.service.scheduler import JobScheduler
-from repro.service.store import HistoryStore
+from repro.service.store import CorruptRunTableError, HistoryStore
 from repro.sparksim.serialize import config_to_dict
 
 #: Cap on how long a ``wait=true`` observe may block the HTTP thread.
@@ -55,6 +55,7 @@ def decision_to_json(decision: OnlineDecision) -> dict:
         "duration_s": None if math.isnan(duration) else duration,
         "retuned": decision.retuned,
         "reason": decision.reason,
+        "trigger": decision.trigger,
         "config": config_to_dict(decision.config),
     }
     if decision.result is not None:
@@ -86,6 +87,7 @@ class TuningService:
         eval_workers: int = 1,
         rehydrate: bool = True,
         default_warm_start: str = "cold",
+        default_detector: str = "ph",
     ):
         """``n_workers`` bounds concurrent tuning jobs across tenants;
         ``eval_workers`` is the per-session evaluation parallelism given
@@ -94,7 +96,10 @@ class TuningService:
         tenant ``tuner.n_workers`` overrides are clamped to it, so the
         machine never runs more evaluations at once than the operator
         provisioned.  ``default_warm_start`` applies to registrations
-        that do not pick a mode themselves ("cold" or "transfer")."""
+        that do not pick a mode themselves ("cold" or "transfer");
+        ``default_detector`` is the drift-detection mode for tenants
+        that do not set ``controller.detector`` ("ph", "cusum", or
+        "ratio")."""
         total_slots = n_workers * max(int(eval_workers), 1)
         self.store = HistoryStore(store_dir)
         self.registry = TuningRegistry(
@@ -103,6 +108,7 @@ class TuningService:
             default_eval_workers=eval_workers,
             max_eval_workers=total_slots,
             default_warm_start=default_warm_start,
+            default_detector=default_detector,
         )
         self.scheduler = JobScheduler(n_workers=n_workers, total_slots=total_slots)
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
@@ -198,6 +204,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._route(method, path.rstrip("/") or "/", query)
         except _HTTPError as exc:
             self._send_json({"error": exc.message}, status=exc.status)
+        except CorruptRunTableError as exc:
+            # Server-side data integrity, not a malformed request: a
+            # 400 would hide the damage from 5xx-based alerting.
+            self._send_json({"error": str(exc)}, status=500)
+        except QuarantinedApplicationError as exc:
+            # The tenant exists but cannot be served until its store is
+            # repaired — 503, never a 404 that invites re-registration.
+            self._send_json({"error": str(exc)}, status=503)
         except (KeyError, ValueError) as exc:
             status = 404 if isinstance(exc, KeyError) else 400
             self._send_json({"error": str(exc)}, status=status)
@@ -223,7 +237,16 @@ class _Handler(BaseHTTPRequestHandler):
                 self._register(self._read_body())
             else:
                 self._send_json(
-                    {"apps": [service.registry.get(a).status() for a in service.registry.app_ids()]}
+                    {
+                        "apps": [
+                            service.registry.get(a).status()
+                            for a in service.registry.app_ids()
+                        ],
+                        # Tenants whose persisted state failed to
+                        # rehydrate, with the reason — operators must be
+                        # able to see the damage, not just 503s.
+                        "quarantined": dict(service.registry.quarantined),
+                    }
                 )
             return
         if method == "GET" and path == "/jobs":

@@ -37,6 +37,7 @@ provenance of every run-table column, is documented in
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import re
@@ -55,6 +56,16 @@ SOURCE_PRODUCTION = "production"  # a measured production run of the deployed co
 SOURCES = (SOURCE_TUNING, SOURCE_PRODUCTION)
 
 _APP_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}")
+
+
+class CorruptRunTableError(ValueError):
+    """A run table holds a corrupt durable line (not a torn append).
+
+    A subclass of ``ValueError`` so existing handlers (the donor scan,
+    tenant quarantine) keep working, but distinguishable where the
+    difference matters — the HTTP layer must report it as a server-side
+    data-integrity failure (5xx), never as a malformed request (400).
+    """
 
 
 def validate_app_id(app_id: str) -> str:
@@ -193,36 +204,99 @@ class HistoryStore:
         self.append_many(app_id, [record])
 
     def append_many(self, app_id: str, records: list[ObservationRecord]) -> None:
-        """Append records to the run table, one flushed JSON line each."""
+        """Append records to the run table, one flushed JSON line each.
+
+        Records carrying the 0.0 default timestamp are stamped with the
+        append time, so run tables stay orderable across restarts even
+        when the caller never set one.
+        """
         if not records:
             return
+        now = time.time()
+        records = [
+            dataclasses.replace(r, timestamp=now) if r.timestamp == 0.0 else r
+            for r in records
+        ]
         path = self.app_dir(app_id) / "runs.jsonl"
         with self._lock:
+            # A crash mid-append can leave the file ending in a torn
+            # partial line.  Appending after it would concatenate the
+            # first new record onto the torn bytes — silently losing it
+            # and turning the crash artifact into *interior* corruption
+            # that poisons every later replay.  The torn tail was never
+            # durable (replay drops it), so trim it before writing.
+            self._truncate_torn_tail(path)
             with open(path, "a") as handle:
                 for record in records:
                     handle.write(json.dumps(record.to_json()) + "\n")
                 handle.flush()
                 os.fsync(handle.fileno())
 
+    @staticmethod
+    def _truncate_torn_tail(path: Path) -> None:
+        """Drop trailing bytes after the last newline (a torn append)."""
+        if not path.exists() or path.stat().st_size == 0:
+            return
+        with open(path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            # Scan backwards in chunks for the last complete line.
+            position, last_newline, chunk = size, -1, 4096
+            while position > 0 and last_newline < 0:
+                start = max(0, position - chunk)
+                handle.seek(start)
+                data = handle.read(position - start)
+                index = data.rfind(b"\n")
+                if index >= 0:
+                    last_newline = start + index
+                position = start
+            handle.truncate(last_newline + 1 if last_newline >= 0 else 0)
+
     def observations(self, app_id: str, source: str | None = None) -> list[ObservationRecord]:
         """The run table in append order, optionally filtered by source.
 
-        A torn trailing line (service killed mid-append) is dropped
-        rather than poisoning the replay.
+        The trailing newline is the durability boundary: a final line
+        without one is a torn append (service killed mid-write) and is
+        dropped rather than poisoning the replay — even when its JSON
+        happens to parse, since the next append truncates it anyway.  A
+        corrupt *newline-terminated* line is a different animal — a
+        torn append under the current writer can only lose a suffix of
+        the write, so it cannot manufacture a complete-but-invalid
+        line; that is disk damage, an external writer, or a pre-repair
+        crash artifact (older releases appended straight after a torn
+        tail, welding two records into one line), and silently skipping
+        it would hand the tuner a fraction of its history.  That raises
+        instead; on service start such a tenant is quarantined rather
+        than blocking the others.
         """
         path = self.app_dir(app_id) / "runs.jsonl"
         if not path.exists():
             return []
+        text = path.read_text()
+        lines = text.splitlines()
+        if lines and not text.endswith("\n"):
+            lines = lines[:-1]  # torn tail: never durable
         records: list[ObservationRecord] = []
-        with open(path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(ObservationRecord.from_json(json.loads(line)))
-                except (json.JSONDecodeError, KeyError, ValueError):
-                    break
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(ObservationRecord.from_json(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise CorruptRunTableError(
+                    f"corrupt run table for application {app_id!r}: "
+                    f"line {i + 1} of {path} is not a valid observation "
+                    f"record ({exc}); only a torn trailing line (no "
+                    f"newline) is tolerated.  This is disk damage, an "
+                    f"external writer, or a crash artifact from an "
+                    f"older release that appended onto a torn tail — "
+                    f"restore the file from backup or delete the "
+                    f"damaged line explicitly"
+                ) from exc
         if source is not None:
             records = [r for r in records if r.source == source]
         return records

@@ -22,6 +22,14 @@ from repro.sparksim.configspace import (
 from repro.sparksim.engine import SparkSQLSimulator
 from repro.sparksim.metrics import ApplicationMetrics, QueryMetrics, StageMetrics
 from repro.sparksim.query import Application, Query, Stage, StageKind
+from repro.sparksim.scenarios import (
+    DriftingSimulator,
+    RunStep,
+    Scenario,
+    ScenarioStream,
+    build_scenario,
+    list_scenarios,
+)
 from repro.sparksim.serialize import (
     config_from_dict,
     config_to_dict,
@@ -36,20 +44,26 @@ __all__ = [
     "ClusterSpec",
     "ConfigSpace",
     "Configuration",
+    "DriftingSimulator",
     "NodeSpec",
     "PARAMETERS",
     "Parameter",
     "Query",
     "QueryMetrics",
+    "RunStep",
+    "Scenario",
+    "ScenarioStream",
     "SparkSQLSimulator",
     "Stage",
     "StageKind",
     "StageMetrics",
     "arm_cluster",
+    "build_scenario",
     "config_from_dict",
     "config_to_dict",
     "get_application",
     "list_benchmarks",
+    "list_scenarios",
     "metrics_from_dict",
     "metrics_to_dict",
     "x86_cluster",

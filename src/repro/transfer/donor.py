@@ -29,6 +29,7 @@ module does not import :mod:`repro.service`.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 from repro.core.iicp import CPSResult
@@ -153,13 +154,21 @@ def donor_candidate(
     least ``min_observations`` tuning rows.  Loads only this app's
     files — pinning a donor does not scan the store.
     """
-    _, cps = store.load_artifacts(app_id)
-    if cps is None:
+    try:
+        _, cps = store.load_artifacts(app_id)
+        if cps is None:
+            return None
+        rows = store.observations(app_id, source="tuning")
+        if len(rows) < min_observations:
+            return None
+        fingerprint = stored_fingerprint(store, app_id, rows=rows)
+    except (ValueError, KeyError, json.JSONDecodeError, OSError):
+        # Any unreadable persisted state (corrupt run table, truncated
+        # artifacts/fingerprint/meta JSON) makes this tenant ineligible
+        # to donate — it must not break *other* tenants' registrations
+        # or rehydrations (the donor ranking scans the whole store).
+        # The owning tenant's own rehydration surfaces the error.
         return None
-    rows = store.observations(app_id, source="tuning")
-    if len(rows) < min_observations:
-        return None
-    fingerprint = stored_fingerprint(store, app_id, rows=rows)
     return DonorCandidate(
         app_id=app_id,
         benchmark=fingerprint.benchmark,

@@ -1,0 +1,216 @@
+"""Tests for the sequential drift detectors (:mod:`repro.core.drift`)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.drift import (
+    CusumDetector,
+    DriftDetector,
+    DurationPrediction,
+    PageHinkleyDetector,
+    RatioDriftDetector,
+    make_detector,
+)
+
+
+def prediction(expected_s: float, log_std: float = 0.1) -> DurationPrediction:
+    return DurationPrediction(
+        expected_s=expected_s,
+        log_mean=math.log(expected_s),
+        log_std=log_std,
+    )
+
+
+class TestDurationPrediction:
+    def test_standardized_residual(self):
+        p = prediction(100.0, log_std=0.1)
+        assert p.standardized_residual(100.0) == pytest.approx(0.0)
+        assert p.standardized_residual(100.0 * math.e**0.2) == pytest.approx(2.0)
+        assert p.standardized_residual(100.0 / math.e**0.1) == pytest.approx(-1.0)
+
+
+class TestRatioDetector:
+    def test_matches_the_legacy_window_rule_on_random_streams(self):
+        """Bit-for-bit: the detector's decisions equal the pre-detector
+        controller's inline window logic for arbitrary streams."""
+        rng = np.random.default_rng(42)
+        for _ in range(20):
+            factor = float(rng.uniform(1.05, 2.0))
+            patience = int(rng.integers(1, 5))
+            expected = float(rng.uniform(10.0, 500.0))
+            durations = expected * rng.uniform(0.5, 3.0, size=60)
+
+            detector = RatioDriftDetector(factor=factor, patience=patience)
+            window: list[float] = []
+            for duration in durations:
+                # The legacy rule, verbatim (including the 1e-9 guard).
+                window.append(float(duration) / max(expected, 1e-9))
+                window = window[-patience:]
+                legacy = len(window) >= patience and all(r > factor for r in window)
+                got = detector.update(float(duration), prediction(expected))
+                assert got == legacy
+                if legacy:
+                    window.clear()
+                    detector.reset()
+
+    def test_reason_matches_the_legacy_string(self):
+        detector = RatioDriftDetector(factor=1.3, patience=2)
+        assert detector.reason() == "2 consecutive runs over 1.3x the expected duration"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RatioDriftDetector(factor=1.0)
+        with pytest.raises(ValueError):
+            RatioDriftDetector(patience=0)
+
+
+class TestPageHinkley:
+    def test_no_alarm_on_centered_noise(self):
+        """Run-to-run jitter at realistic scale (~5% of the duration,
+        i.e. half the floored log-std) never accumulates to an alarm."""
+        detector = PageHinkleyDetector()
+        rng = np.random.default_rng(7)
+        for z in rng.normal(0.0, 1.0, size=500):
+            assert not detector.update(100.0 * math.exp(0.05 * z), prediction(100.0))
+
+    def test_abrupt_shift_detected_quickly(self):
+        detector = PageHinkleyDetector()
+        for _ in range(10):
+            detector.update(100.0, prediction(100.0))
+        steps = 0
+        alarmed = False
+        for _ in range(5):
+            steps += 1
+            if detector.update(180.0, prediction(100.0)):
+                alarmed = True
+                break
+        assert alarmed and steps <= 2
+
+    def test_constant_offset_is_absorbed_by_the_baseline(self):
+        """A systematic calibration bias must not integrate to an alarm."""
+        detector = PageHinkleyDetector()
+        for _ in range(200):
+            assert not detector.update(108.0, prediction(100.0))
+
+    def test_first_run_drift_stands_out_against_the_prior(self):
+        """The zero-anchored prior keeps an immediately-drifted stream
+        from becoming its own baseline."""
+        detector = PageHinkleyDetector()
+        alarmed = False
+        for _ in range(4):
+            if detector.update(300.0, prediction(100.0)):
+                alarmed = True
+                break
+        assert alarmed
+
+    def test_absurd_fast_run_cannot_force_a_false_alarm(self):
+        """A single nonsense measurement (0.0 s, or ms-instead-of-s)
+        must not swing the baseline so far that the next *normal* run
+        alarms — the residual is clamped (asymmetrically: the fast side
+        carries no drift evidence) before accumulation.  The bogus run
+        arriving *first* in the window is the hardest case: the baseline
+        has nothing to dilute it with."""
+        for bogus in (0.0, 1e-6):
+            for warmup in (0, 1, 5):
+                detector = PageHinkleyDetector()
+                for _ in range(warmup):
+                    detector.update(100.0, prediction(100.0))
+                detector.update(bogus, prediction(100.0))
+                for _ in range(15):
+                    assert not detector.update(100.0, prediction(100.0)), (
+                        bogus, warmup
+                    )
+
+    def test_clip_does_not_slow_genuine_drift(self):
+        detector = PageHinkleyDetector()
+        for _ in range(5):
+            detector.update(100.0, prediction(100.0))
+        # A 3x slowdown (z clipped at 8) still alarms immediately.
+        assert detector.update(300.0, prediction(100.0))
+
+    def test_state_round_trips_through_json(self):
+        detector = PageHinkleyDetector()
+        for d in (100.0, 130.0, 125.0):
+            detector.update(d, prediction(100.0))
+        state = json.loads(json.dumps(detector.state()))
+        restored = PageHinkleyDetector()
+        restored.restore(state)
+        assert restored.state() == detector.state()
+        assert restored.statistic == detector.statistic
+        # Both continue identically after the round trip.
+        for d in (140.0, 140.0, 140.0):
+            assert detector.update(d, prediction(100.0)) == restored.update(
+                d, prediction(100.0)
+            )
+
+    def test_reset_clears_everything(self):
+        detector = PageHinkleyDetector()
+        detector.update(180.0, prediction(100.0))
+        detector.reset()
+        assert detector.state() == {
+            "n": 0, "total": 0.0, "cumulative": 0.0, "minimum": 0.0,
+        }
+
+
+class TestCusum:
+    def test_no_alarm_on_centered_noise(self):
+        detector = CusumDetector()
+        rng = np.random.default_rng(11)
+        for z in rng.normal(0.0, 1.0, size=500):
+            assert not detector.update(100.0 * math.exp(0.05 * z), prediction(100.0))
+
+    def test_sustained_shift_detected(self):
+        detector = CusumDetector()
+        for _ in range(10):
+            detector.update(100.0, prediction(100.0))
+        alarmed = False
+        for _ in range(6):
+            if detector.update(140.0, prediction(100.0)):
+                alarmed = True
+                break
+        assert alarmed
+
+    def test_score_resets_on_recovery(self):
+        detector = CusumDetector()
+        for _ in range(10):
+            detector.update(100.0, prediction(100.0))
+        detector.update(150.0, prediction(100.0))
+        assert detector.score > 0
+        for _ in range(6):
+            detector.update(100.0, prediction(100.0))
+        assert detector.score == 0.0
+
+    def test_state_round_trips_through_json(self):
+        detector = CusumDetector()
+        for d in (100.0, 130.0, 125.0):
+            detector.update(d, prediction(100.0))
+        restored = CusumDetector()
+        restored.restore(json.loads(json.dumps(detector.state())))
+        assert restored.state() == detector.state()
+
+
+class TestFactoryAndProtocol:
+    @pytest.mark.parametrize("name,cls", [
+        ("ratio", RatioDriftDetector),
+        ("ph", PageHinkleyDetector),
+        ("cusum", CusumDetector),
+    ])
+    def test_make_detector(self, name, cls):
+        detector = make_detector(name, drift_factor=1.5, drift_patience=4)
+        assert isinstance(detector, cls)
+        assert isinstance(detector, DriftDetector)  # runtime protocol check
+        assert detector.name == name
+        # Every detector serves a JSON-safe status and state.
+        json.dumps(detector.status())
+        json.dumps(detector.state())
+
+    def test_ratio_factory_forwards_parameters(self):
+        detector = make_detector("ratio", drift_factor=1.5, drift_patience=4)
+        assert detector.factor == 1.5 and detector.patience == 4
+
+    def test_unknown_detector(self):
+        with pytest.raises(ValueError, match="unknown drift detector"):
+            make_detector("oracle")

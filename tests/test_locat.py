@@ -103,6 +103,143 @@ class TestAdaptation:
         assert len(locat._observations) > n_after_first
 
 
+class TestPrediction:
+    def test_predict_before_bootstrap_is_none(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app)
+        config = sim_x86.space.default()
+        assert locat.predict_log_duration(config, 100.0) is None
+
+    def test_predict_matches_observed_scale(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app)
+        result = locat.tune(100.0)
+        pred = locat.predict_log_duration(result.best_config, 100.0)
+        assert pred is not None
+        mean, std = pred
+        assert std >= 0
+        # The posterior median of the best config's RQA duration lands in
+        # the same ballpark as its observed RQA durations.
+        observed = [
+            dur for config, ds, dur in locat.observation_history
+            if ds == 100.0 and config == result.best_config
+        ]
+        assert observed
+        assert np.exp(mean) == pytest.approx(min(observed), rel=0.5)
+
+    def test_predictor_extends_incrementally(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app)
+        locat.tune(100.0)
+        config = sim_x86.space.default()
+        locat.predict_log_duration(config, 100.0)
+        predictor = locat._predictor
+        n = predictor.n_observations
+        # New observations extend the cached model instead of refitting.
+        trial = locat.objective.run_subset(config, 100.0, locat.csq)
+        from repro.core.locat import _Observation
+        locat._observations.append(_Observation(config, 100.0, trial.duration_s))
+        locat.predict_log_duration(config, 100.0)
+        assert locat._predictor is predictor
+        assert predictor.n_observations == n + 1
+
+    def test_predictions_transfer_across_datasizes(self, sim_x86, join_app):
+        """The DAGP predicts at sizes never tuned — the capability the
+        nearest-run heuristic approximated with linear scaling."""
+        locat = small_locat(sim_x86, join_app)
+        result = locat.tune(100.0)
+        small = locat.predict_log_duration(result.best_config, 100.0)
+        large = locat.predict_log_duration(result.best_config, 400.0)
+        assert large is not None
+        assert large[0] > small[0]  # more data, longer expected duration
+
+
+class TestPartialSessions:
+    def test_adapt_without_bootstrap_falls_back_to_tune(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app)
+        result = locat.adapt(100.0)
+        assert result.details["partial"] is False  # it ran the full session
+        assert locat.is_bootstrapped
+
+    def test_adapt_is_cheaper_than_a_cold_session(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app)
+        cold = locat.tune(100.0)
+        partial = locat.adapt(100.0)
+        assert partial.details["partial"] is True
+        assert partial.evaluations < cold.evaluations
+        assert partial.best_duration_s > 0
+        assert sim_x86.space.is_valid(partial.best_config)
+
+    def test_adapt_budget_override_and_validation(self, sim_x86, join_app):
+        locat = small_locat(sim_x86, join_app)
+        locat.tune(100.0)
+        tight = locat.adapt(100.0, max_iterations=2)
+        # 2 BO evaluations + the resource-parameter polish sweep + the
+        # candidate/validation runs: well under half a cold session.
+        assert tight.evaluations <= 20
+        with pytest.raises(ValueError):
+            small_locat(sim_x86, join_app, n_adapt_iterations=0)
+
+    def test_adapt_re_measures_the_incumbent(self, sim_x86, join_app):
+        """A partial session at an already-seen datasize must give the
+        previous incumbent a fresh measurement, so the session can never
+        deploy something worse than what is already running (as measured
+        in the current environment)."""
+        locat = small_locat(sim_x86, join_app)
+        cold = locat.tune(100.0)
+        n_before = len(locat._observations)
+        locat.adapt(100.0)
+        fresh = locat._observations[n_before:]
+        stale_best = min(
+            (o for o in locat._observations[:n_before] if o.datasize_gb == 100.0),
+            key=lambda o: o.rqa_duration_s,
+        )
+        assert any(o.config == stale_best.config for o in fresh), (
+            "the pre-session incumbent must be re-measured in-session"
+        )
+        del cold
+
+    def test_monitoring_predictor_demotes_pre_drift_rows(self, x86, join_app):
+        """After a drift retune, the online predictor must apply the same
+        stale-history quarantine as the session surrogate: pre-boundary
+        rows enter at fidelity 1, fresh rows at fidelity 0 — otherwise
+        expectations at neighbouring datasizes blend stale-environment
+        durations at full weight and re-alarm spuriously."""
+        from repro.sparksim.scenarios import DriftingSimulator, RunStep
+
+        simulator = DriftingSimulator(x86)
+        locat = small_locat(simulator, join_app)
+        locat.tune(100.0)
+        simulator.set_step(
+            RunStep(index=0, datasize_gb=100.0, disk_factor=0.4, core_factor=0.6,
+                    drifted=True)
+        )
+        locat.adapt(100.0)
+        boundary = locat._stale_before
+        assert 0 < boundary < len(locat._observations)
+        config = locat._observations[-1].config
+        assert locat.predict_log_duration(config, 100.0) is not None
+        fidelities = locat._predictor._fidelities
+        assert all(f == 1.0 for f in fidelities[:boundary])
+        assert all(f == 0.0 for f in fidelities[boundary:])
+
+    def test_adapt_quarantines_stale_incumbents(self, x86, join_app):
+        """After an environment shift, a partial session must deploy on
+        *fresh* measurements: the healthy-era trials are faster than
+        anything the degraded cluster can do, and re-anchoring on them
+        would pin the deployment to a world that no longer exists."""
+        from repro.sparksim.scenarios import DriftingSimulator, RunStep
+
+        simulator = DriftingSimulator(x86)
+        locat = small_locat(simulator, join_app)
+        healthy = locat.tune(100.0)
+        simulator.set_step(
+            RunStep(index=0, datasize_gb=100.0, disk_factor=0.4, core_factor=0.6,
+                    drifted=True)
+        )
+        adapted = locat.adapt(100.0)
+        # The reported duration reflects the degraded environment, not a
+        # stale healthy-era trial.
+        assert adapted.best_duration_s > healthy.best_duration_s * 1.2
+
+
 class TestDefaultReset:
     def test_reset_only_touches_unselected_non_resource(self, sim_x86, join_app):
         locat = small_locat(sim_x86, join_app)

@@ -1,0 +1,133 @@
+"""Tests for the dynamic workload scenarios (:mod:`repro.sparksim.scenarios`)."""
+
+import pytest
+
+from repro.sparksim import SparkSQLSimulator, x86_cluster
+from repro.sparksim.scenarios import (
+    ScenarioStream,
+    abrupt_skew_drift,
+    build_scenario,
+    cluster_degradation,
+    datasize_random_walk,
+    degrade_cluster,
+    gradual_skew_drift,
+    list_scenarios,
+    node_loss,
+    shift_application_skew,
+    stable,
+)
+
+
+class TestGenerators:
+    def test_catalog_names_build(self):
+        for name in list_scenarios():
+            scenario = build_scenario(name, n_steps=8)
+            assert scenario.n_steps == 8
+            assert [s.index for s in scenario.steps] == list(range(8))
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_scenario("meteor_strike")
+
+    def test_stable_has_no_drift(self):
+        scenario = stable(n_steps=10)
+        assert scenario.onset is None
+        assert all(not s.drifted for s in scenario.steps)
+
+    def test_random_walk_is_deterministic_and_bounded(self):
+        a = datasize_random_walk(n_steps=40, seed=5, lo_gb=50.0, hi_gb=400.0)
+        b = datasize_random_walk(n_steps=40, seed=5, lo_gb=50.0, hi_gb=400.0)
+        assert [s.datasize_gb for s in a.steps] == [s.datasize_gb for s in b.steps]
+        assert all(50.0 <= s.datasize_gb <= 400.0 for s in a.steps)
+        assert a.onset is None  # datasize change is not environment drift
+        different = datasize_random_walk(n_steps=40, seed=6)
+        assert [s.datasize_gb for s in a.steps] != [
+            s.datasize_gb for s in different.steps
+        ]
+
+    def test_abrupt_skew_onset(self):
+        scenario = abrupt_skew_drift(n_steps=12, onset=5, shift=0.4)
+        assert scenario.onset == 5
+        assert scenario.steps[4].skew_shift == 0.0
+        assert scenario.steps[5].skew_shift == 0.4
+        assert all(s.drifted == (s.index >= 5) for s in scenario.steps)
+
+    def test_gradual_skew_ramps(self):
+        scenario = gradual_skew_drift(n_steps=20, onset=5, ramp=10, max_shift=0.5)
+        shifts = [s.skew_shift for s in scenario.steps]
+        assert shifts[4] == 0.0
+        assert 0.0 < shifts[6] < shifts[10] < shifts[14]
+        assert shifts[-1] == pytest.approx(0.5)
+
+    def test_onset_must_be_inside_the_stream(self):
+        for builder in (abrupt_skew_drift, gradual_skew_drift,
+                        cluster_degradation, node_loss):
+            with pytest.raises(ValueError, match="onset"):
+                builder(n_steps=5, onset=5)
+
+
+class TestEnvironmentApplication:
+    def test_degrade_cluster_scales_node_and_workers(self, x86):
+        step = cluster_degradation(n_steps=2, onset=1).steps[1]
+        degraded = degrade_cluster(x86, step)
+        assert degraded.node.disk_mb_per_s == pytest.approx(
+            x86.node.disk_mb_per_s * 0.45
+        )
+        assert degraded.node.core_speed == pytest.approx(x86.node.core_speed * 0.75)
+        assert degraded.worker_count == x86.worker_count
+
+    def test_baseline_step_returns_the_same_cluster(self, x86):
+        step = stable(n_steps=1).steps[0]
+        assert degrade_cluster(x86, step) is x86
+
+    def test_node_loss_keeps_at_least_one_worker(self, x86):
+        step = node_loss(n_steps=2, onset=1, lost_workers=99).steps[1]
+        assert degrade_cluster(x86, step).worker_count == 1
+
+    def test_skew_shift_clips_to_valid_range(self, join_app):
+        shifted = shift_application_skew(join_app, 0.9)
+        for query in shifted.queries:
+            for stage in query.stages:
+                assert 0.0 <= stage.skew <= 1.0
+        # Volumes are untouched: only the key distribution changed.
+        for before, after in zip(join_app.queries, shifted.queries):
+            for s0, s1 in zip(before.stages, after.stages):
+                assert s1.input_fraction == s0.input_fraction
+                assert s1.shuffle_fraction == s0.shuffle_fraction
+
+    def test_zero_shift_is_identity(self, join_app):
+        assert shift_application_skew(join_app, 0.0) is join_app
+
+
+class TestScenarioStream:
+    def test_measurements_are_reproducible(self, x86, join_app):
+        scenario = abrupt_skew_drift(n_steps=6, onset=3)
+        config = SparkSQLSimulator(x86).space.default()
+        a = ScenarioStream(scenario, join_app, x86, seed=3)
+        b = ScenarioStream(scenario, join_app, x86, seed=3)
+        durations_a = [a.measure(s, config) for s in scenario.steps]
+        # Reversed order must not change any measurement.
+        durations_b = [b.measure(s, config) for s in reversed(scenario.steps)][::-1]
+        assert durations_a == durations_b
+
+    def test_drift_actually_slows_the_workload(self, x86, join_app):
+        """The scenarios must produce a measurable slowdown — otherwise
+        the drift benchmark would be detecting nothing."""
+        config = SparkSQLSimulator(x86).space.default()
+        for scenario in (
+            abrupt_skew_drift(n_steps=12, onset=6),
+            cluster_degradation(n_steps=12, onset=6),
+            node_loss(n_steps=12, onset=6),
+        ):
+            stream = ScenarioStream(scenario, join_app, x86, noise=0.0, seed=1)
+            before = stream.measure(scenario.steps[0], config)
+            after = stream.measure(scenario.steps[-1], config)
+            assert after > before * 1.1, scenario.name
+
+    def test_environments_are_cached(self, x86, join_app):
+        scenario = abrupt_skew_drift(n_steps=10, onset=5)
+        stream = ScenarioStream(scenario, join_app, x86, seed=0)
+        for step in scenario.steps:
+            stream.measure(step, SparkSQLSimulator(x86).space.default())
+        # Two distinct environments: baseline and the drifted state.
+        assert len(stream._environments) == 2

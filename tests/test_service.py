@@ -11,6 +11,7 @@ from repro.service import (
     HistoryStore,
     JobScheduler,
     ObservationRecord,
+    QuarantinedApplicationError,
     ServiceError,
     TuningClient,
     TuningRegistry,
@@ -125,6 +126,84 @@ class TestHistoryStore:
             handle.write('{"config": {"trunca')  # killed mid-append
         rows = store.observations("app-1")
         assert len(rows) == 1 and rows[0].duration_s == 2.0
+
+    def test_interior_corruption_raises_instead_of_truncating(self, tmp_path, space_x86):
+        """A corrupt line mid-file is disk damage, not a torn append: it
+        must raise, not silently hand back a fraction of the history."""
+        store = HistoryStore(tmp_path)
+        store.register_app("app-1", {})
+        config = config_to_dict(space_x86.default())
+        store.append_many("app-1", [
+            ObservationRecord(config, 1.0, 2.0, SOURCE_TUNING),
+            ObservationRecord(config, 1.0, 3.0, SOURCE_TUNING),
+        ])
+        path = tmp_path / "app-1" / "runs.jsonl"
+        lines = path.read_text().splitlines()
+        lines.insert(1, "GARBAGE NOT JSON")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="line 2"):
+            store.observations("app-1")
+
+    def test_newline_terminated_garbage_raises_even_at_eof(self, tmp_path, space_x86):
+        """A torn append can only lose a *suffix* of the write, so a
+        complete (newline-terminated) but invalid line is disk damage
+        wherever it sits — including at the end of the file."""
+        store = HistoryStore(tmp_path)
+        store.register_app("app-1", {})
+        store.append("app-1", ObservationRecord(config_to_dict(space_x86.default()), 1.0, 2.0, SOURCE_TUNING))
+        with open(tmp_path / "app-1" / "runs.jsonl", "a") as handle:
+            handle.write('{"damaged": true}\n')
+        with pytest.raises(ValueError, match="corrupt run table"):
+            store.observations("app-1")
+
+    def test_append_after_torn_tail_repairs_instead_of_corrupting(self, tmp_path, space_x86):
+        """Appending after a crash's torn trailing line must not weld the
+        new record onto the torn bytes — that would silently lose the
+        record and turn the crash artifact into interior corruption that
+        blocks every later replay (and service rehydration)."""
+        store = HistoryStore(tmp_path)
+        store.register_app("app-1", {})
+        config = config_to_dict(space_x86.default())
+        store.append("app-1", ObservationRecord(config, 1.0, 2.0, SOURCE_TUNING))
+        with open(tmp_path / "app-1" / "runs.jsonl", "a") as handle:
+            handle.write('{"config": {"trunca')  # killed mid-append, no newline
+        store.append("app-1", ObservationRecord(config, 1.0, 3.0, SOURCE_TUNING))
+        store.append("app-1", ObservationRecord(config, 1.0, 4.0, SOURCE_TUNING))
+        rows = store.observations("app-1")  # must not raise
+        assert [r.duration_s for r in rows] == [2.0, 3.0, 4.0]
+
+    def test_newlineless_final_record_is_not_durable(self, tmp_path, space_x86):
+        """A final line whose newline never hit the disk is not durable,
+        even when the JSON payload happens to be complete: replay must
+        not count a record the next append will truncate away."""
+        store = HistoryStore(tmp_path)
+        store.register_app("app-1", {})
+        config = config_to_dict(space_x86.default())
+        store.append("app-1", ObservationRecord(config, 1.0, 2.0, SOURCE_TUNING))
+        record = ObservationRecord(config, 1.0, 9.0, SOURCE_TUNING)
+        import json as _json
+        with open(tmp_path / "app-1" / "runs.jsonl", "a") as handle:
+            handle.write(_json.dumps(record.to_json()))  # crash before the \n
+        assert [r.duration_s for r in store.observations("app-1")] == [2.0]
+        # The append path truncates the same tail: replay and disk agree.
+        store.append("app-1", ObservationRecord(config, 1.0, 3.0, SOURCE_TUNING))
+        assert [r.duration_s for r in store.observations("app-1")] == [2.0, 3.0]
+
+    def test_append_stamps_default_timestamps(self, tmp_path, space_x86):
+        """Records left at the 0.0 default are stamped at append time, so
+        run tables stay orderable across restarts; explicit timestamps
+        are preserved."""
+        store = HistoryStore(tmp_path)
+        store.register_app("app-1", {})
+        config = config_to_dict(space_x86.default())
+        before = time.time()
+        store.append_many("app-1", [
+            ObservationRecord(config, 1.0, 2.0, SOURCE_TUNING),
+            ObservationRecord(config, 1.0, 3.0, SOURCE_TUNING, timestamp=123.5),
+        ])
+        rows = store.observations("app-1")
+        assert rows[0].timestamp >= before
+        assert rows[1].timestamp == 123.5
 
     def test_artifacts_round_trip(self, tmp_path):
         store = HistoryStore(tmp_path)
@@ -288,6 +367,32 @@ class TestJobScheduler:
             scheduler.get("job-999999")
         scheduler.shutdown()
 
+    def test_job_json_snapshots_are_never_torn(self):
+        """to_json snapshots under the scheduler lock: a reader hammering
+        a completing job must never observe a half-written transition
+        (terminal status with the completion fields still unset)."""
+        scheduler = JobScheduler(n_workers=2)
+        stop = threading.Event()
+        torn: list[dict] = []
+
+        def hammer(job):
+            while not stop.is_set():
+                view = job.to_json()
+                if view["status"] in ("done", "failed"):
+                    if view["finished_at"] is None or view["started_at"] is None:
+                        torn.append(view)
+                    return
+
+        for _ in range(25):
+            job = scheduler.submit("a", lambda: sum(range(1000)))
+            reader = threading.Thread(target=hammer, args=(job,))
+            reader.start()
+            scheduler.wait(job.job_id, timeout=10.0)
+            reader.join(timeout=10.0)
+        stop.set()
+        assert torn == []
+        scheduler.shutdown()
+
     def test_finished_jobs_evicted_beyond_cap(self):
         scheduler = JobScheduler(n_workers=1, max_finished=3)
         jobs = [scheduler.submit("a", lambda: "done") for _ in range(5)]
@@ -404,7 +509,7 @@ class TestTuningRegistry:
         store = HistoryStore(tmp_path)
         registry = TuningRegistry(store)
         registry.register("app", benchmark="join", seed=7, tuner=TINY_TUNER,
-                          controller={"drift_patience": 2})
+                          controller={"drift_patience": 2, "detector": "ratio"})
         first = registry.observe("app", 100.0)
         old_config = first.config
         slow = first.result.best_duration_s * 3.0
@@ -448,7 +553,7 @@ class TestTuningRegistry:
         store_dir = tmp_path / "store"
         registry = TuningRegistry(HistoryStore(store_dir))
         registry.register("app", benchmark="join", seed=7, tuner=TINY_TUNER,
-                          controller={"drift_patience": 2})
+                          controller={"drift_patience": 2, "detector": "ratio"})
         first = registry.observe("app", 100.0)
         slow = first.result.best_duration_s * 3.0
         registry.observe("app", 100.0, duration_s=slow)  # half the patience window
@@ -463,6 +568,213 @@ class TestTuningRegistry:
         registry = TuningRegistry(HistoryStore(tmp_path))
         with pytest.raises(KeyError):
             registry.observe("ghost", 100.0)
+
+
+class TestDriftDetectionService:
+    """The drift-aware controller through the service stack."""
+
+    def test_detector_is_a_validated_controller_setting(self, tmp_path):
+        store = HistoryStore(tmp_path / "store")
+        registry = TuningRegistry(store)
+        with pytest.raises(ValueError, match="detector"):
+            registry.register("bad", "scan", controller={"detector": "oracle"})
+        assert "bad" not in registry and not store.has_app("bad")
+        with pytest.raises(ValueError, match="partial_retunes"):
+            registry.register("bad2", "scan", controller={"partial_retunes": "yes"})
+        session = registry.register(
+            "app", "scan", tuner=TINY_TUNER, controller={"detector": "cusum"}
+        )
+        assert session.controller.detector_name == "cusum"
+        # Persisted: a rehydrated registry keeps the tenant's choice even
+        # under a different service default.
+        rehydrated = TuningRegistry(HistoryStore(tmp_path / "store"),
+                                    default_detector="ratio")
+        assert rehydrated.get("app").controller.detector_name == "cusum"
+
+    def test_default_detector_applies_to_unset_tenants(self, tmp_path):
+        registry = TuningRegistry(HistoryStore(tmp_path), default_detector="ratio")
+        session = registry.register("app", "scan", tuner=TINY_TUNER)
+        assert session.controller.detector_name == "ratio"
+
+    def test_status_exposes_drift_diagnostics(self, tmp_path):
+        registry = TuningRegistry(HistoryStore(tmp_path))
+        session = registry.register("app", "join", seed=7, tuner=TINY_TUNER)
+        status = session.status()
+        assert status["drift"]["detector"] == "ph"
+        assert not status["drift"]["calibrated"]
+        registry.observe("app", 100.0)
+        assert session.status()["drift"]["calibrated"]
+
+    def test_detector_state_survives_restart(self, tmp_path):
+        """Satellite regression: drift detection must not go silently
+        dead across a service restart — the calibration, the detector
+        window, and the config identity all round-trip."""
+        store_dir = tmp_path / "store"
+        registry = TuningRegistry(HistoryStore(store_dir))
+        registry.register("app", benchmark="join", seed=7, tuner=TINY_TUNER)
+        first = registry.observe("app", 100.0)
+        baseline = first.result.best_duration_s
+        controller = registry.get("app").controller
+        assert controller.log_offset is not None
+        registry.observe("app", 100.0, duration_s=baseline * 1.2)  # partial evidence
+        partial_state = controller.detector_state()
+        assert partial_state["n"] == 1
+
+        rehydrated = TuningRegistry(HistoryStore(store_dir))
+        restored = rehydrated.get("app").controller
+        assert restored.log_offset == pytest.approx(controller.log_offset)
+        assert restored.detector_state() == partial_state
+        # The restored detector keeps accumulating from where it left
+        # off and the drift path still fires — no silent death.
+        retuned = False
+        for _ in range(12):
+            decision = rehydrated.observe("app", 100.0, duration_s=baseline * 2.0)
+            if decision.retuned:
+                retuned = True
+                break
+        assert retuned
+        assert decision.trigger == "drift"
+        assert decision.result.details["partial"] is True
+
+    def test_drift_quarantine_boundary_survives_restart(self, tmp_path):
+        """The stale-history boundary set by a drift retune must restore
+        with the calibration that was anchored against it — otherwise a
+        restarted post-drift tenant blends pre-drift rows back in at
+        full weight and spuriously re-alarms."""
+        store_dir = tmp_path / "store"
+        store = HistoryStore(store_dir)
+        registry = TuningRegistry(store)
+        registry.register("app", "join", seed=7, tuner=TINY_TUNER)
+        first = registry.observe("app", 100.0)
+        baseline = first.result.best_duration_s
+        retuned = False
+        for _ in range(6):
+            if registry.observe("app", 100.0, duration_s=baseline * 2.5).retuned:
+                retuned = True
+                break
+        assert retuned
+        boundary = registry.get("app").locat.stale_before
+        assert boundary > 0
+        assert store.load_deployment("app")["stale_tuning_rows"] == boundary
+
+        rehydrated = TuningRegistry(HistoryStore(store_dir))
+        assert rehydrated.get("app").locat.stale_before == boundary
+
+    def test_deployed_json_carries_detector_fields(self, tmp_path):
+        store = HistoryStore(tmp_path / "store")
+        registry = TuningRegistry(store)
+        registry.register("app", "join", seed=7, tuner=TINY_TUNER)
+        registry.observe("app", 100.0)
+        deployment = store.load_deployment("app")
+        assert deployment["detector"] == "ph"
+        assert "detector_state" in deployment
+        assert deployment["log_offset"] is not None
+
+    def test_detector_mode_change_discards_foreign_state(self, tmp_path):
+        """deployed.json written under one detector must not be misread
+        by another: after a service-default change, the new detector
+        starts a fresh window instead of inheriting ph accumulators."""
+        store_dir = tmp_path / "store"
+        registry = TuningRegistry(HistoryStore(store_dir))  # default ph
+        registry.register("app", "join", seed=7, tuner=TINY_TUNER)
+        first = registry.observe("app", 100.0)
+        base = first.result.best_duration_s
+        registry.observe("app", 100.0, duration_s=base * 1.2)
+        assert registry.get("app").controller.detector_state()["n"] == 1
+
+        switched = TuningRegistry(HistoryStore(store_dir), default_detector="cusum")
+        controller = switched.get("app").controller
+        assert controller.detector_name == "cusum"
+        assert controller.detector_state() == {"n": 0, "total": 0.0, "score": 0.0}
+        # The calibration offset is detector-independent and survives.
+        assert controller.log_offset is not None
+
+    def test_corrupt_tenant_is_quarantined_not_fatal(self, tmp_path):
+        """One tenant's damaged run table must not keep the whole
+        multi-tenant service from starting: the tenant is quarantined
+        with the descriptive error, the others rehydrate normally."""
+        store_dir = tmp_path / "store"
+        registry = TuningRegistry(HistoryStore(store_dir))
+        registry.register("good", "join", seed=7, tuner=TINY_TUNER)
+        registry.register("bad", "scan", seed=7, tuner=TINY_TUNER)
+        registry.observe("good", 100.0)
+        registry.observe("bad", 100.0)
+        path = store_dir / "bad" / "runs.jsonl"
+        lines = path.read_text().splitlines()
+        lines.insert(1, "GARBAGE NOT JSON")
+        path.write_text("\n".join(lines) + "\n")
+
+        rehydrated = TuningRegistry(HistoryStore(store_dir))
+        assert rehydrated.get("good").restored
+        assert "bad" in rehydrated.quarantined
+        assert "corrupt run table" in rehydrated.quarantined["bad"]
+        assert "bad" not in rehydrated
+        # Distinct from an unknown app: the HTTP layer maps this to 503
+        # (repairable server-side damage), not 404 (never registered).
+        with pytest.raises(QuarantinedApplicationError, match="quarantined"):
+            rehydrated.get("bad")
+        with pytest.raises(KeyError):
+            rehydrated.get("ghost")
+
+    def test_corrupt_donor_does_not_break_transfer_registration(self, tmp_path):
+        """The donor ranking scans every tenant's run table: a corrupt
+        donor must be skipped (ineligible), not crash an unrelated
+        tenant's warm_start='transfer' registration after its metadata
+        was already persisted."""
+        store_dir = tmp_path / "store"
+        store = HistoryStore(store_dir)
+        registry = TuningRegistry(store)
+        registry.register("donor", "join", seed=7, tuner=TINY_TUNER)
+        registry.observe("donor", 100.0)
+        path = store_dir / "donor" / "runs.jsonl"
+        lines = path.read_text().splitlines()
+        lines.insert(1, "GARBAGE NOT JSON")
+        path.write_text("\n".join(lines) + "\n")
+
+        session = registry.register(
+            "newbie", "tpcds", seed=7, tuner=TINY_TUNER, warm_start="transfer"
+        )
+        # Degrades to a cold start instead of poisoning the store.
+        assert session.locat.transfer_from is None
+        assert store.has_app("newbie")
+
+    def test_truncated_donor_artifacts_do_not_break_transfer_registration(self, tmp_path):
+        """Corrupt artifacts.json (not just the run table) must make the
+        donor ineligible, not crash another tenant's registration."""
+        store_dir = tmp_path / "store"
+        store = HistoryStore(store_dir)
+        registry = TuningRegistry(store)
+        registry.register("donor", "join", seed=7, tuner=TINY_TUNER)
+        registry.observe("donor", 100.0)
+        (store_dir / "donor" / "artifacts.json").write_text('{"qcsa": {"cv')
+
+        session = registry.register(
+            "newbie", "tpcds", seed=7, tuner=TINY_TUNER, warm_start="transfer"
+        )
+        assert session.locat.transfer_from is None
+        assert store.has_app("newbie")
+
+    def test_legacy_deployment_without_detector_state_rehydrates(self, tmp_path):
+        """A deployed.json written by the pre-detector service (only
+        recent_ratios) must still restore — and a ratio-mode tenant
+        resumes its half-filled window from it."""
+        store_dir = tmp_path / "store"
+        store = HistoryStore(store_dir)
+        registry = TuningRegistry(store)
+        registry.register("app", "join", seed=7, tuner=TINY_TUNER,
+                          controller={"detector": "ratio", "drift_patience": 2})
+        first = registry.observe("app", 100.0)
+        slow = first.result.best_duration_s * 3.0
+        registry.observe("app", 100.0, duration_s=slow)
+        deployment = store.load_deployment("app")
+        for key in ("detector", "detector_state", "log_offset"):
+            deployment.pop(key, None)  # simulate the old schema
+        store.save_deployment("app", deployment)
+
+        rehydrated = TuningRegistry(HistoryStore(store_dir))
+        assert len(rehydrated.get("app").controller.recent_ratios) == 1
+        decision = rehydrated.observe("app", 100.0, duration_s=slow)
+        assert decision.retuned
 
 
 class TestServiceIntegration:
@@ -559,6 +871,47 @@ class TestServiceIntegration:
                 assert excinfo.value.status == 500
             finally:
                 service.registry.observe = original_observe
+
+    def test_quarantined_tenant_answers_503_and_is_listed(self, tmp_path):
+        """Over HTTP, a quarantined tenant is a repairable server-side
+        failure (503 with the reason), never a 404 inviting
+        re-registration — and GET /apps names it for operators."""
+        store_dir = tmp_path / "store"
+        registry = TuningRegistry(HistoryStore(store_dir))
+        registry.register("app", "join", seed=7, tuner=TINY_TUNER)
+        registry.observe("app", 100.0)
+        path = store_dir / "app" / "runs.jsonl"
+        lines = path.read_text().splitlines()
+        lines.insert(1, "GARBAGE NOT JSON")
+        path.write_text("\n".join(lines) + "\n")
+
+        with TuningService(str(store_dir), port=0, n_workers=1).start() as service:
+            client = TuningClient(service.url)
+            with pytest.raises(ServiceError) as excinfo:
+                client.observe("app", 100.0)
+            assert excinfo.value.status == 503
+            assert "quarantined" in str(excinfo.value)
+            listing = client.list_apps()
+            assert listing == []  # not among the healthy sessions
+            raw = client._request("GET", "/apps")  # the listing names the damage
+            assert "app" in raw["quarantined"]
+
+    def test_corrupt_history_surfaces_as_500_not_400(self, tmp_path):
+        """Interior run-table corruption discovered while serving
+        GET /apps/<id>/history is a server-side integrity failure: it
+        must reach 5xx-based alerting, not masquerade as a bad request."""
+        with TuningService(str(tmp_path), port=0, n_workers=1).start() as service:
+            client = TuningClient(service.url)
+            client.register_app("app", "join", seed=7, tuner=TINY_TUNER)
+            client.observe("app", 100.0)
+            path = tmp_path / "app" / "runs.jsonl"
+            lines = path.read_text().splitlines()
+            lines.insert(1, "GARBAGE NOT JSON")
+            path.write_text("\n".join(lines) + "\n")
+            with pytest.raises(ServiceError) as excinfo:
+                client.history("app")
+            assert excinfo.value.status == 500
+            assert "corrupt run table" in str(excinfo.value)
 
     def test_async_observe_and_jobs_listing(self, tmp_path):
         with TuningService(str(tmp_path), port=0, n_workers=2).start() as service:
