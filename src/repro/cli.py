@@ -9,7 +9,10 @@ Commands:
 * ``compare`` — LOCAT vs the four baselines on one benchmark;
 * ``simulate`` — run one configuration and print the metrics;
 * ``serve`` — run the multi-tenant tuning service (HTTP JSON API) with
-  a persistent history store.
+  a persistent history store; ``--workers N`` shards tenants across N
+  worker processes behind a routing front end;
+* ``loadgen`` — drive closed- or open-loop load against a running
+  service and report throughput / latency percentiles / failure rate.
 """
 
 from __future__ import annotations
@@ -101,13 +104,30 @@ def build_parser() -> argparse.ArgumentParser:
         "applications found there are rehydrated on startup",
     )
     serve.add_argument(
-        "--workers", type=int, default=4,
-        help="tuning worker threads shared across applications (default: 4)",
+        "--workers", type=int, default=1,
+        help="worker processes; 1 (default) runs the classic single-process "
+        "service, >1 shards tenants across that many processes by a stable "
+        "hash of the application id (see docs/architecture.md)",
+    )
+    serve.add_argument(
+        "--tuning-threads", type=int, default=4,
+        help="tuning worker threads per process, shared across that "
+        "process's applications (default: 4)",
     )
     serve.add_argument(
         "--eval-workers", type=int, default=1,
         help="per-session parallel evaluation workers for tenants that do not "
         "set tuner.n_workers themselves (default: 1, fully serial sessions)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="per-process backlog bound: beyond N queued jobs the service "
+        "answers 429 with a Retry-After hint (default: unbounded)",
+    )
+    serve.add_argument(
+        "--log-requests", action="store_true",
+        help="log every HTTP request to stderr (off by default; at load-test "
+        "rates the synchronized stderr writes are a bottleneck)",
     )
     serve.add_argument(
         "--warm-start", default="cold", choices=("cold", "transfer"),
@@ -122,6 +142,61 @@ def build_parser() -> argparse.ArgumentParser:
         "DAGP's standardized residuals, the default), 'cusum', or "
         "'ratio' (the legacy fixed-window heuristic)",
     )
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive load against a running tuning service"
+    )
+    loadgen.add_argument(
+        "--url", default="http://127.0.0.1:8080",
+        help="base URL of the service under test (default: http://127.0.0.1:8080)",
+    )
+    loadgen.add_argument(
+        "--tenants", type=int, default=4,
+        help="tenants to provision (registered + bootstrapped up front, "
+        "default: 4)",
+    )
+    loadgen.add_argument(
+        "--benchmark", default="join", choices=list_benchmarks(),
+        help="workload every tenant runs (default: join)",
+    )
+    loadgen.add_argument(
+        "--datasize", type=float, default=10.0,
+        help="per-tenant input size in GB (default: 10)",
+    )
+    loadgen.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed: N clients back to back; open: Poisson arrivals at "
+        "--rate regardless of completions (default: closed)",
+    )
+    loadgen.add_argument(
+        "--clients", type=int, default=4,
+        help="closed-loop client threads (default: 4)",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=50.0,
+        help="open-loop arrival rate in requests/s (default: 50)",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=10.0,
+        help="measured run length in seconds (default: 10)",
+    )
+    loadgen.add_argument(
+        "--warmup", type=float, default=1.0,
+        help="seconds trimmed from the start of the run (default: 1)",
+    )
+    loadgen.add_argument(
+        "--mix", default="observe=0.90,status=0.05,config=0.05",
+        help="operation mix as op=weight pairs over observe/status/config "
+        "(default: observe=0.90,status=0.05,config=0.05)",
+    )
+    loadgen.add_argument(
+        "--batch-size", type=int, default=1,
+        help="observations per observe request; >1 uses "
+        "POST /apps/<id>/observe_batch (default: 1)",
+    )
+    loadgen.add_argument("--seed", type=int, default=1, help="random seed")
+    loadgen.add_argument("--csv", metavar="PATH", help="append-style run_table.csv output")
+    loadgen.add_argument("--json", metavar="PATH", help="full summary JSON output")
     return parser
 
 
@@ -304,18 +379,37 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from repro.service import TuningService
+    from repro.service import ShardedTuningService, TuningService
 
-    service = TuningService(
-        args.store, host=args.host, port=args.port, n_workers=args.workers,
-        eval_workers=args.eval_workers, default_warm_start=args.warm_start,
-        default_detector=args.drift_detector,
-    )
-    rehydrated = service.registry.app_ids()
-    print(f"tuning service listening on {service.url} (store: {args.store})")
-    if rehydrated:
-        print(f"rehydrated {len(rehydrated)} application(s): {', '.join(rehydrated)}")
-    print("endpoints: POST /apps, POST /apps/<id>/observe, GET /apps/<id>/config, "
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.workers == 1:
+        service = TuningService(
+            args.store, host=args.host, port=args.port,
+            n_workers=args.tuning_threads, eval_workers=args.eval_workers,
+            default_warm_start=args.warm_start,
+            default_detector=args.drift_detector,
+            max_pending=args.max_pending, log_requests=args.log_requests,
+        )
+        rehydrated = service.registry.app_ids()
+        print(f"tuning service listening on {service.url} (store: {args.store})")
+        if rehydrated:
+            print(f"rehydrated {len(rehydrated)} application(s): {', '.join(rehydrated)}")
+    else:
+        service = ShardedTuningService(
+            args.store, host=args.host, port=args.port, workers=args.workers,
+            tuning_threads=args.tuning_threads, eval_workers=args.eval_workers,
+            default_warm_start=args.warm_start,
+            default_detector=args.drift_detector,
+            max_pending=args.max_pending, log_requests=args.log_requests,
+        )
+        print(
+            f"sharded tuning service listening on {service.url} "
+            f"({args.workers} workers, store: {args.store})"
+        )
+    print("endpoints: POST /apps, POST /apps/<id>/observe, "
+          "POST /apps/<id>/observe_batch, GET /apps/<id>/config, "
           "GET /apps/<id>/history, GET /jobs/<id>")
     try:
         service.serve_forever()
@@ -323,6 +417,69 @@ def cmd_serve(args) -> int:
         print("\nshutting down")
     finally:
         service.close()
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    import json as json_module
+
+    from repro.loadgen import (
+        OpMix,
+        format_report,
+        provision_tenants,
+        run_closed_loop,
+        run_open_loop,
+        run_table_row,
+        summarize,
+        write_run_table,
+    )
+    from repro.service import ServiceError, TuningClient
+
+    try:
+        mix = OpMix.parse(args.mix)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.warmup >= args.duration:
+        print("--warmup must be shorter than --duration", file=sys.stderr)
+        return 2
+    client = TuningClient(args.url)
+    try:
+        client.health()
+    except (ServiceError, OSError) as exc:
+        print(f"service at {args.url} is not reachable: {exc}", file=sys.stderr)
+        return 2
+    print(f"provisioning {args.tenants} tenant(s) on {args.url}...")
+    plans = provision_tenants(
+        client, args.tenants, benchmark=args.benchmark,
+        datasize_gb=args.datasize, seed=args.seed,
+    )
+    print(f"driving {args.mode}-loop load for {args.duration:.0f}s (mix {mix})...")
+    if args.mode == "closed":
+        records = run_closed_loop(
+            args.url, plans, mix, duration_s=args.duration, clients=args.clients,
+            batch_size=args.batch_size, seed=args.seed,
+        )
+    else:
+        records = run_open_loop(
+            args.url, plans, mix, duration_s=args.duration, rate_rps=args.rate,
+            batch_size=args.batch_size, seed=args.seed,
+        )
+    client.close()
+    summary = summarize(records, duration_s=args.duration, warmup_s=args.warmup)
+    row = run_table_row(
+        summary, mode=args.mode, workers="", tenants=args.tenants,
+        clients=args.clients if args.mode == "closed" else "",
+        batch_size=args.batch_size, mix=str(mix),
+    )
+    print(format_report([row]))
+    if args.csv:
+        write_run_table(args.csv, [row])
+        print(f"wrote {args.csv}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json_module.dump(summary.to_json(), handle, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -334,6 +491,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "simulate": cmd_simulate,
         "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,52 @@
+"""Load generation for the tuning service.
+
+A small harness for driving a running service (plain or sharded) with a
+configurable multi-tenant operation mix and measuring what it sustains:
+
+* :mod:`repro.loadgen.workload` — the operation mix
+  (observe / status / config weights), tenant provisioning with
+  shard-balanced ids, and per-tenant steady-state run parameters;
+* :mod:`repro.loadgen.driver` — closed-loop (N clients, back-to-back
+  requests) and open-loop (Poisson arrivals at a target rate) drivers
+  recording one :class:`~repro.loadgen.driver.RequestRecord` per
+  request, with latency measured from the *scheduled* arrival time in
+  open-loop mode so queueing delay is not silently dropped
+  (coordinated omission);
+* :mod:`repro.loadgen.report` — warmup trimming, nearest-rank
+  percentiles, and the canonical ``run_table.csv`` row schema
+  (``throughput_rps`` / ``p95_latency_ms`` / ``failure_rate`` per
+  configuration).
+
+``benchmarks/bench_service_load.py`` composes these into the repo's
+standing service-performance curve; ``python -m repro loadgen`` exposes
+the same harness against any URL.
+"""
+
+from repro.loadgen.driver import RequestRecord, run_closed_loop, run_open_loop
+from repro.loadgen.report import (
+    RUN_TABLE_COLUMNS,
+    LoadSummary,
+    format_report,
+    percentile,
+    run_table_row,
+    summarize,
+    write_run_table,
+)
+from repro.loadgen.workload import OBSERVE_HEAVY, OpMix, TenantPlan, provision_tenants
+
+__all__ = [
+    "OBSERVE_HEAVY",
+    "LoadSummary",
+    "OpMix",
+    "RUN_TABLE_COLUMNS",
+    "RequestRecord",
+    "TenantPlan",
+    "format_report",
+    "percentile",
+    "provision_tenants",
+    "run_closed_loop",
+    "run_table_row",
+    "run_open_loop",
+    "summarize",
+    "write_run_table",
+]

@@ -1,0 +1,173 @@
+"""Turning request records into the canonical load report.
+
+The reporting shape follows the topology-scale replication convention:
+one ``run_table.csv`` with a row per swept configuration and the
+columns ``throughput_rps`` / ``p95_latency_ms`` / ``failure_rate`` (plus
+context columns), so successive PRs can diff the service's perf curve
+directly.
+
+``observe_throughput_rps`` counts *observations landed per second* —
+a batched request carrying 32 observations contributes 32 — because
+ingest capacity is what sharding is supposed to scale; plain
+``throughput_rps`` counts requests.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.loadgen.driver import RequestRecord
+
+#: Column order of ``run_table.csv``.
+RUN_TABLE_COLUMNS = (
+    "mode",
+    "workers",
+    "tenants",
+    "clients",
+    "batch_size",
+    "mix",
+    "duration_s",
+    "requests",
+    "throughput_rps",
+    "observe_throughput_rps",
+    "p50_latency_ms",
+    "p95_latency_ms",
+    "p99_latency_ms",
+    "failure_rate",
+    "rejected_rate",
+)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        return math.nan
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(int(math.ceil(q / 100.0 * len(ordered))), 1)
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LoadSummary:
+    """Aggregate view of one measured load window."""
+
+    requests: int
+    window_s: float
+    throughput_rps: float
+    observe_throughput_rps: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    failure_rate: float
+    rejected_rate: float
+    by_op: dict[str, int]
+
+    def to_json(self) -> dict:
+        return {
+            "requests": self.requests,
+            "window_s": self.window_s,
+            "throughput_rps": self.throughput_rps,
+            "observe_throughput_rps": self.observe_throughput_rps,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "failure_rate": self.failure_rate,
+            "rejected_rate": self.rejected_rate,
+            "by_op": dict(self.by_op),
+        }
+
+
+def summarize(
+    records: list[RequestRecord], duration_s: float, warmup_s: float = 0.0
+) -> LoadSummary:
+    """Aggregate a run, discarding the first ``warmup_s`` of requests.
+
+    Warmup trimming drops the window in which connection pools fill and
+    caches warm; rates are computed over the remaining window
+    (``duration_s - warmup_s``), not over the span of surviving
+    requests, so an idle tail counts against throughput.
+    """
+    if warmup_s >= duration_s:
+        raise ValueError(f"warmup ({warmup_s}s) must be shorter than the run ({duration_s}s)")
+    kept = [record for record in records if record.scheduled_at >= warmup_s]
+    window = duration_s - warmup_s
+    ok = [record for record in kept if record.outcome == "ok"]
+    rejected = [record for record in kept if record.outcome == "rejected"]
+    errors = [record for record in kept if record.outcome == "error"]
+    latencies = [record.latency_s * 1000.0 for record in ok]
+    by_op: dict[str, int] = {}
+    for record in kept:
+        by_op[record.op] = by_op.get(record.op, 0) + 1
+    return LoadSummary(
+        requests=len(kept),
+        window_s=window,
+        throughput_rps=len(ok) / window,
+        observe_throughput_rps=sum(record.n_observations for record in ok) / window,
+        p50_latency_ms=percentile(latencies, 50),
+        p95_latency_ms=percentile(latencies, 95),
+        p99_latency_ms=percentile(latencies, 99),
+        failure_rate=len(errors) / len(kept) if kept else math.nan,
+        rejected_rate=len(rejected) / len(kept) if kept else math.nan,
+        by_op=by_op,
+    )
+
+
+def run_table_row(summary: LoadSummary, **context) -> dict:
+    """One ``run_table.csv`` row: context columns + summary metrics."""
+    row = {
+        "duration_s": summary.window_s,
+        "requests": summary.requests,
+        "throughput_rps": round(summary.throughput_rps, 2),
+        "observe_throughput_rps": round(summary.observe_throughput_rps, 2),
+        "p50_latency_ms": round(summary.p50_latency_ms, 2),
+        "p95_latency_ms": round(summary.p95_latency_ms, 2),
+        "p99_latency_ms": round(summary.p99_latency_ms, 2),
+        "failure_rate": round(summary.failure_rate, 4),
+        "rejected_rate": round(summary.rejected_rate, 4),
+    }
+    row.update(context)
+    unknown = set(row) - set(RUN_TABLE_COLUMNS)
+    if unknown:
+        raise ValueError(f"unknown run-table columns: {sorted(unknown)}")
+    return {column: row.get(column, "") for column in RUN_TABLE_COLUMNS}
+
+
+def write_run_table(path: str | Path, rows: list[dict]) -> Path:
+    """Write the canonical CSV; rows come from :func:`run_table_row`."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(RUN_TABLE_COLUMNS))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def format_report(rows: list[dict]) -> str:
+    """Human-readable table of run-table rows for CLI/benchmark output."""
+    columns = [
+        "mode",
+        "workers",
+        "tenants",
+        "clients",
+        "batch_size",
+        "throughput_rps",
+        "observe_throughput_rps",
+        "p95_latency_ms",
+        "failure_rate",
+        "rejected_rate",
+    ]
+    header = [column.replace("_latency_ms", "_ms").replace("_throughput", "_tput") for column in columns]
+    table = [header] + [[str(row.get(column, "")) for column in columns] for row in rows]
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = []
+    for i, line in enumerate(table):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

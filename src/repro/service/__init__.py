@@ -19,9 +19,18 @@ story needs and the in-process classes leave out:
   parallel evaluations (``tuner.n_workers``) cannot oversubscribe the
   machine;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
-  stdlib-only JSON-over-HTTP API and its thin Python client.
+  stdlib-only JSON-over-HTTP API and its keep-alive Python client
+  (persistent connections, one transparent retry on idempotent
+  transport failures);
+* :mod:`repro.service.sharding` — the multi-worker deployment: a
+  routing front end over ``N`` worker processes, each a full
+  :class:`TuningService` owning a stable-hash shard of the tenants,
+  with crash supervision (restart + store rehydration) and graceful
+  drain.  ``--workers 1`` is byte-identical to the plain service.
 
-Start a service with ``python -m repro serve --store ./tuning-store``;
+Start a service with ``python -m repro serve --store ./tuning-store``
+(add ``--workers N`` to shard across processes, and drive it with
+``python -m repro loadgen``);
 see ``examples/tuning_service.py`` for an end-to-end walkthrough, and
 ``docs/architecture.md`` / ``docs/history-store.md`` for the data flow
 and the on-disk schema.
@@ -29,8 +38,9 @@ and the on-disk schema.
 
 from repro.service.client import ServiceError, TuningClient
 from repro.service.registry import AppSession, QuarantinedApplicationError, TuningRegistry
-from repro.service.scheduler import Job, JobScheduler
+from repro.service.scheduler import Job, JobScheduler, SchedulerSaturatedError
 from repro.service.server import TuningService
+from repro.service.sharding import ShardedTuningService
 from repro.service.store import CorruptRunTableError, HistoryStore, ObservationRecord
 
 __all__ = [
@@ -41,7 +51,9 @@ __all__ = [
     "JobScheduler",
     "ObservationRecord",
     "QuarantinedApplicationError",
+    "SchedulerSaturatedError",
     "ServiceError",
+    "ShardedTuningService",
     "TuningClient",
     "TuningRegistry",
     "TuningService",

@@ -445,28 +445,67 @@ class TuningRegistry:
         new tuning observations, first-bootstrap artifacts, the deployed
         state — is persisted before returning.
         """
+        return self.observe_batch(app_id, [(datasize_gb, duration_s)])[0]
+
+    def observe_batch(
+        self, app_id: str, observations: list[tuple[float, float | None]]
+    ) -> list[OnlineDecision]:
+        """Feed a batch of production runs through the app's controller.
+
+        Decisions are made strictly in list order (the drift window is
+        order-sensitive), but the run-table rows of the whole batch land
+        via one :meth:`HistoryStore.append_many` call — one store-lock
+        acquisition and one fsync — and the deployed state is rewritten
+        once, so batched ingestion amortizes the durability cost that
+        dominates a steady-state observe.
+        """
+        if not observations:
+            raise ValueError("observations must be a non-empty list")
         session = self.get(app_id)
         with session.lock:
             controller = session.controller
-            # The measured duration belongs to the configuration that was
-            # deployed when the run executed — capture it before observe()
-            # may retune and swap the deployment.
-            measured_config = controller.deployed_config if controller.is_deployed else None
-            decision = controller.observe(datasize_gb, duration_s)
-            self._persist(session, decision, duration_s, measured_config)
-        return decision
+            now = time.time()
+            decisions: list[OnlineDecision] = []
+            records: list[ObservationRecord] = []
+            persisted = session.persisted_observations
+            for datasize_gb, duration_s in observations:
+                # The measured duration belongs to the configuration that
+                # was deployed when the run executed — capture it before
+                # observe() may retune and swap the deployment.
+                measured_config = (
+                    controller.deployed_config if controller.is_deployed else None
+                )
+                decision = controller.observe(datasize_gb, duration_s)
+                persisted = self._collect_records(
+                    session, decision, duration_s, measured_config, now,
+                    persisted, records,
+                )
+                decisions.append(decision)
+            self.store.append_many(session.app_id, records)
+            session.persisted_observations = persisted
+            self._persist_state(session, now)
+            session.n_observes += len(decisions)
+            session.n_retunes += sum(1 for d in decisions if d.retuned)
+        return decisions
 
-    def _persist(
+    def _collect_records(
         self,
         session: AppSession,
         decision: OnlineDecision,
         duration_s: float | None,
         measured_config,
-    ) -> None:
-        locat = session.locat
-        now = time.time()
-        history = locat.observation_history
-        records = [
+        now: float,
+        persisted: int,
+        records: list[ObservationRecord],
+    ) -> int:
+        """Append one decision's new run-table rows to ``records``.
+
+        Returns the new persisted-prefix length of the LOCAT observation
+        history; nothing is written here — the caller lands the whole
+        batch in one ``append_many``.
+        """
+        history = session.locat.observation_history
+        records.extend(
             ObservationRecord(
                 config=config_to_dict(config),
                 datasize_gb=ds,
@@ -475,8 +514,8 @@ class TuningRegistry:
                 reduced=True,
                 timestamp=now,
             )
-            for config, ds, dur in history[session.persisted_observations:]
-        ]
+            for config, ds, dur in history[persisted:]
+        )
         if duration_s is not None and measured_config is not None:
             # No production row before the first deployment: a duration
             # reported then was measured under an unknown configuration.
@@ -490,9 +529,11 @@ class TuningRegistry:
                     timestamp=now,
                 )
             )
-        self.store.append_many(session.app_id, records)
-        session.persisted_observations = len(history)
+        return len(history)
 
+    def _persist_state(self, session: AppSession, now: float) -> None:
+        """Persist artifacts/transfer/deployment state after decisions."""
+        locat = session.locat
         if locat.is_bootstrapped and not self.store.has_artifacts(session.app_id):
             assert locat.iicp_result is not None
             self.store.save_artifacts(session.app_id, locat.qcsa_result, locat.iicp_result.cps)
@@ -534,6 +575,3 @@ class TuningRegistry:
                     "updated_at": now,
                 },
             )
-        session.n_observes += 1
-        if decision.retuned:
-            session.n_retunes += 1

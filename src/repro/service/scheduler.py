@@ -19,6 +19,13 @@ evaluation pipelines cannot oversubscribe the machine.  Waiting heavy
 jobs cannot be starved by a stream of small ones (admission is ordered
 by submission number), and a job larger than the whole budget runs
 alone rather than deadlocking.
+
+Two service-level controls ride on top: ``max_pending`` bounds the
+queued backlog (:class:`SchedulerSaturatedError` -> HTTP 429 with a
+``Retry-After`` hint, instead of unbounded queuing), and :meth:`drain`
+is the graceful-shutdown path — refuse new work, *complete* everything
+already accepted — used by sharded workers so accepted observations are
+never dropped.
 """
 
 from __future__ import annotations
@@ -36,6 +43,27 @@ STATUS_QUEUED = "queued"
 STATUS_RUNNING = "running"
 STATUS_DONE = "done"
 STATUS_FAILED = "failed"
+
+
+class SchedulerSaturatedError(RuntimeError):
+    """The scheduler's pending queue is full; the caller should back off.
+
+    Raised by :meth:`JobScheduler.submit` when ``max_pending`` is set and
+    that many jobs are already queued (not yet running).  Carries a
+    ``retry_after_s`` hint — the estimated time for the backlog to drain,
+    from an exponentially-weighted average of recent job service times —
+    which the HTTP layer forwards as a ``Retry-After`` header on the 429
+    response instead of letting clients guess.
+    """
+
+    def __init__(self, pending: int, max_pending: int, retry_after_s: float):
+        super().__init__(
+            f"scheduler saturated: {pending} jobs already pending "
+            f"(bound {max_pending}); retry in ~{retry_after_s:.0f}s"
+        )
+        self.pending = pending
+        self.max_pending = max_pending
+        self.retry_after_s = retry_after_s
 
 
 @dataclass
@@ -106,14 +134,36 @@ class JobScheduler:
     to 404).
     """
 
-    def __init__(self, n_workers: int = 4, max_finished: int = 1000, total_slots: int | None = None):
+    def __init__(
+        self,
+        n_workers: int = 4,
+        max_finished: int = 1000,
+        total_slots: int | None = None,
+        max_pending: int | None = None,
+        job_id_prefix: str = "",
+    ):
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         if max_finished < 1:
             raise ValueError("max_finished must be at least 1")
         if total_slots is not None and total_slots < 1:
             raise ValueError("total_slots must be at least 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
         self.max_finished = max_finished
+        #: Backpressure bound: queued-but-not-running jobs beyond this
+        #: are refused with :class:`SchedulerSaturatedError` instead of
+        #: growing the queue without limit.  ``None`` keeps the legacy
+        #: unbounded behavior.
+        self.max_pending = None if max_pending is None else int(max_pending)
+        #: Prepended to every job id.  A sharded deployment gives each
+        #: worker a distinct prefix (``w0-``, ``w1-``, ...) so the
+        #: front end can route ``GET /jobs/<id>`` back to the worker
+        #: that owns the job; the single-worker service keeps the empty
+        #: prefix and therefore the legacy ``job-000001`` ids.
+        self.job_id_prefix = str(job_id_prefix)
+        #: EWMA of job service times, feeding the Retry-After hint.
+        self._avg_service_s = 1.0
         #: Evaluation-thread budget shared by all running jobs.  A job
         #: declaring ``slots=k`` (a tuning session with k parallel
         #: evaluators) is only admitted while the budget holds, except
@@ -131,6 +181,7 @@ class JobScheduler:
         self._finished: deque[str] = deque()
         self._counter = itertools.count(1)
         self._shutdown = False
+        self._draining = False
         self._workers = [
             threading.Thread(target=self._worker, name=f"tuning-worker-{i}", daemon=True)
             for i in range(n_workers)
@@ -155,9 +206,20 @@ class JobScheduler:
         with self._cond:
             if self._shutdown:
                 raise RuntimeError("scheduler is shut down")
+            if self._draining:
+                raise RuntimeError("scheduler is draining (service shutting down)")
+            if self.max_pending is not None:
+                pending = sum(len(queue) for queue in self._queues.values())
+                if pending >= self.max_pending:
+                    # Backlog drains at roughly one job per avg service
+                    # time per worker thread.
+                    hint = pending * self._avg_service_s / len(self._workers)
+                    raise SchedulerSaturatedError(
+                        pending, self.max_pending, min(max(hint, 1.0), 60.0)
+                    )
             number = next(self._counter)
             job = Job(
-                job_id=f"job-{number:06d}",
+                job_id=f"{self.job_id_prefix}job-{number:06d}",
                 app_id=app_id,
                 kind=kind,
                 fn=fn,
@@ -190,6 +252,26 @@ class JobScheduler:
         if not job.wait(timeout):
             raise TimeoutError(f"job {job_id} still {job.status} after {timeout}s")
         return job
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop accepting work and wait for every accepted job to finish.
+
+        Unlike :meth:`shutdown`, queued jobs are *completed*, not failed
+        — this is the graceful path a sharded worker takes on shutdown
+        so accepted observations are never dropped on the floor.  New
+        submissions are refused from the moment drain begins.  Returns
+        True when the queue emptied, False on timeout (jobs may still be
+        running); either way the scheduler no longer accepts work.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._draining = True
+            while any(self._queues.values()) or self._busy:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the workers; queued jobs fail, the running ones finish."""
@@ -266,6 +348,9 @@ class JobScheduler:
                 job.error = error
                 job.status = STATUS_FAILED if error else STATUS_DONE
                 job.finished_at = time.time()
+                if job.started_at is not None:
+                    service_s = max(job.finished_at - job.started_at, 1e-4)
+                    self._avg_service_s += 0.2 * (service_s - self._avg_service_s)
                 self._busy.discard(job.app_id)
                 self._slots_used -= job.slots
                 self._finish_locked(job)

@@ -15,12 +15,23 @@ Endpoints (all request/response bodies are JSON):
                                   "wait"?}; wait=false returns 202 with
                                   a job id, wait=true (default) blocks
                                   and returns the decision
+    POST /apps/<id>/observe_batch {"observations": [{"datasize_gb",
+                                  "duration_s"?}, ...], "wait"?}; lands
+                                  the whole batch through one store
+                                  lock acquisition and one fsync
     GET  /apps/<id>/config        the deployed configuration (raw
                                   values, spark properties, and a
                                   rendered spark-defaults.conf)
     GET  /apps/<id>/history       the run table (?source=, ?limit=)
     GET  /jobs                    all jobs (?app=)
     GET  /jobs/<id>               one job, with the decision once done
+    POST /admin/drain             (only with ``admin=True``) finish all
+                                  queued work, then signal shutdown —
+                                  used by the sharded supervisor
+
+When the scheduler backlog exceeds ``max_pending`` the service answers
+429 with a ``Retry-After`` hint instead of queuing without bound.
+
 
 Built on :class:`http.server.ThreadingHTTPServer` — one thread per
 request, so a blocking ``observe`` does not starve status queries, while
@@ -39,12 +50,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.core.export import to_spark_defaults_conf, to_spark_properties
 from repro.core.online import OnlineDecision
 from repro.service.registry import QuarantinedApplicationError, TuningRegistry
-from repro.service.scheduler import JobScheduler
+from repro.service.scheduler import JobScheduler, SchedulerSaturatedError
 from repro.service.store import CorruptRunTableError, HistoryStore
 from repro.sparksim.serialize import config_to_dict
 
 #: Cap on how long a ``wait=true`` observe may block the HTTP thread.
 MAX_WAIT_S = 600.0
+
+#: Cap on how many observations one ``observe_batch`` request may carry.
+MAX_BATCH = 1000
 
 
 def decision_to_json(decision: OnlineDecision) -> dict:
@@ -88,6 +102,11 @@ class TuningService:
         rehydrate: bool = True,
         default_warm_start: str = "cold",
         default_detector: str = "ph",
+        max_pending: int | None = None,
+        log_requests: bool = False,
+        admin: bool = False,
+        job_id_prefix: str = "",
+        store_factory=None,
     ):
         """``n_workers`` bounds concurrent tuning jobs across tenants;
         ``eval_workers`` is the per-session evaluation parallelism given
@@ -99,9 +118,22 @@ class TuningService:
         that do not pick a mode themselves ("cold" or "transfer");
         ``default_detector`` is the drift-detection mode for tenants
         that do not set ``controller.detector`` ("ph", "cusum", or
-        "ratio")."""
+        "ratio").
+
+        ``max_pending`` bounds the scheduler's queued backlog: beyond it
+        submissions answer 429 with a ``Retry-After`` hint instead of
+        queuing without limit.  ``log_requests=False`` (the default)
+        silences ``BaseHTTPRequestHandler``'s per-request stderr access
+        log — at load-test rates the synchronized stderr writes are
+        themselves a bottleneck.  ``admin=True`` enables the worker-only
+        ``POST /admin/drain`` endpoint used by the sharded supervisor
+        for graceful shutdown; ``job_id_prefix`` namespaces job ids so a
+        front end can route them back (see
+        :mod:`repro.service.sharding`).  ``store_factory`` substitutes a
+        :class:`HistoryStore` subclass (tests, benchmarks emulating
+        slow durable storage)."""
         total_slots = n_workers * max(int(eval_workers), 1)
-        self.store = HistoryStore(store_dir)
+        self.store = (store_factory or HistoryStore)(store_dir)
         self.registry = TuningRegistry(
             self.store,
             rehydrate=rehydrate,
@@ -110,7 +142,17 @@ class TuningService:
             default_warm_start=default_warm_start,
             default_detector=default_detector,
         )
-        self.scheduler = JobScheduler(n_workers=n_workers, total_slots=total_slots)
+        self.scheduler = JobScheduler(
+            n_workers=n_workers,
+            total_slots=total_slots,
+            max_pending=max_pending,
+            job_id_prefix=job_id_prefix,
+        )
+        self.log_requests = bool(log_requests)
+        self.admin_enabled = bool(admin)
+        #: Set once an admin drain completed; a supervised worker's main
+        #: loop waits on it, closes the service, and exits the process.
+        self.drained = threading.Event()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = self  # type: ignore[attr-defined]
@@ -171,13 +213,20 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        pass  # keep test/CLI output clean; the CLI prints its own banner
+        # Silent by default: at load-test rates the synchronized stderr
+        # writes of the stock access log are themselves a bottleneck.
+        if self.service.log_requests:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(
+        self, payload: dict, status: int = 200, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -211,6 +260,17 @@ class _Handler(BaseHTTPRequestHandler):
         except QuarantinedApplicationError as exc:
             # The tenant exists but cannot be served until its store is
             # repaired — 503, never a 404 that invites re-registration.
+            self._send_json({"error": str(exc)}, status=503)
+        except SchedulerSaturatedError as exc:
+            # Backpressure, not failure: tell the client when to retry
+            # instead of queuing without bound.
+            self._send_json(
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                status=429,
+                headers={"Retry-After": str(max(int(round(exc.retry_after_s)), 1))},
+            )
+        except RuntimeError as exc:
+            # Scheduler draining / shut down — the worker is going away.
             self._send_json({"error": str(exc)}, status=503)
         except (KeyError, ValueError) as exc:
             status = 404 if isinstance(exc, KeyError) else 400
@@ -253,15 +313,30 @@ class _Handler(BaseHTTPRequestHandler):
             app_id = query.get("app")
             self._send_json({"jobs": [j.to_json() for j in service.scheduler.jobs(app_id)]})
             return
+        if method == "POST" and path == "/admin/drain":
+            if not service.admin_enabled:
+                raise _HTTPError(404, f"no route for {method} {path}")
+            # Finish every queued/in-flight job, answer, then flag the
+            # supervised worker's main loop to exit.  The response goes
+            # out before ``drained`` is set so the caller always hears
+            # back from a socket that is still open.
+            service.scheduler.drain()
+            self._send_json({"status": "drained"})
+            service.drained.set()
+            return
         match = re.fullmatch(r"/jobs/([^/]+)", path)
         if match and method == "GET":
             self._job(match.group(1))
             return
-        match = re.fullmatch(r"/apps/([^/]+)(/observe|/config|/history)?", path)
+        match = re.fullmatch(
+            r"/apps/([^/]+)(/observe_batch|/observe|/config|/history)?", path
+        )
         if match:
             app_id, action = match.group(1), match.group(2)
             if action == "/observe" and method == "POST":
                 self._observe(app_id, self._read_body())
+            elif action == "/observe_batch" and method == "POST":
+                self._observe_batch(app_id, self._read_body())
             elif action == "/config" and method == "GET":
                 self._config(app_id)
             elif action == "/history" and method == "GET":
@@ -322,11 +397,59 @@ class _Handler(BaseHTTPRequestHandler):
             raise _HTTPError(504, str(exc)) from None
         self._job(job.job_id)
 
+    def _observe_batch(self, app_id: str, body: dict) -> None:
+        registry = self.service.registry
+        session = registry.get(app_id)  # 404 before queueing anything
+        observations = body.get("observations")
+        if not isinstance(observations, list) or not observations:
+            raise _HTTPError(400, "'observations' must be a non-empty list")
+        if len(observations) > MAX_BATCH:
+            raise _HTTPError(
+                400, f"batch of {len(observations)} exceeds the cap of {MAX_BATCH}"
+            )
+        parsed: list[tuple[float, float | None]] = []
+        for i, item in enumerate(observations):
+            if not isinstance(item, dict) or "datasize_gb" not in item:
+                raise _HTTPError(
+                    400, f"observations[{i}] must be an object with 'datasize_gb'"
+                )
+            try:
+                datasize_gb = float(item["datasize_gb"])
+                duration_s = item.get("duration_s")
+                duration_s = None if duration_s is None else float(duration_s)
+            except (TypeError, ValueError) as exc:
+                raise _HTTPError(
+                    400,
+                    f"observations[{i}] datasize_gb/duration_s must be numbers: {exc}",
+                ) from None
+            parsed.append((datasize_gb, duration_s))
+        job = self.service.scheduler.submit(
+            app_id,
+            lambda: registry.observe_batch(app_id, parsed),
+            kind="observe_batch",
+            slots=session.planned_slots(parsed[0][0]),
+        )
+        if not body.get("wait", True):
+            self._send_json({**job.to_json()}, status=202)
+            return
+        timeout = min(float(body.get("timeout", MAX_WAIT_S)), MAX_WAIT_S)
+        try:
+            self.service.scheduler.wait(job.job_id, timeout)
+        except TimeoutError as exc:
+            raise _HTTPError(504, str(exc)) from None
+        self._job(job.job_id)
+
     def _job(self, job_id: str) -> None:
         job = self.service.scheduler.get(job_id)
         payload = job.to_json()
         if job.status == "done" and isinstance(job.result, OnlineDecision):
             payload["decision"] = decision_to_json(job.result)
+        elif (
+            job.status == "done"
+            and isinstance(job.result, list)
+            and all(isinstance(d, OnlineDecision) for d in job.result)
+        ):
+            payload["decisions"] = [decision_to_json(d) for d in job.result]
         self._send_json(payload, status=500 if job.status == "failed" else 200)
 
     def _config(self, app_id: str) -> None:

@@ -923,3 +923,170 @@ class TestServiceIntegration:
             assert done["decision"]["retuned"]
             listed = client.jobs("app")
             assert [j["job_id"] for j in listed] == [queued["job_id"]]
+
+
+class TestObserveBatch:
+    """POST /apps/<id>/observe_batch and the registry batch path."""
+
+    def test_batch_decisions_match_sequential_observes(self, tmp_path):
+        """A batch must be bit-identical to the same observes one by one."""
+        seq = TuningService(str(tmp_path / "seq"), port=0, n_workers=1).start()
+        bat = TuningService(str(tmp_path / "bat"), port=0, n_workers=1).start()
+        runs = [(100.0, None), (100.0, 52.0), (100.0, 53.0), (104.0, 51.0)]
+        try:
+            for service in (seq, bat):
+                TuningClient(service.url).register_app("app", "join", seed=7, tuner=TINY_TUNER)
+            client_seq = TuningClient(seq.url)
+            sequential = [
+                client_seq.observe("app", ds, duration_s=dur)["decision"]
+                for ds, dur in runs
+            ]
+            client_bat = TuningClient(bat.url)
+            job = client_bat.observe_batch(
+                "app",
+                [
+                    {"datasize_gb": ds, **({"duration_s": dur} if dur is not None else {})}
+                    for ds, dur in runs
+                ],
+            )
+            assert job["status"] == "done"
+            assert job["decisions"] == sequential
+        finally:
+            seq.close()
+            bat.close()
+
+    def test_batch_lands_in_one_append(self, tmp_path, monkeypatch):
+        with TuningService(str(tmp_path), port=0, n_workers=1).start() as service:
+            client = TuningClient(service.url)
+            client.register_app("app", "join", seed=7, tuner=TINY_TUNER)
+            client.observe("app", 100.0)  # bootstrap
+
+            calls = []
+            original = type(service.store).append_many
+
+            def counting(self, app_id, records):
+                calls.append(len(records))
+                return original(self, app_id, records)
+
+            monkeypatch.setattr(type(service.store), "append_many", counting)
+            client.observe_batch(
+                "app", [{"datasize_gb": 100.0, "duration_s": 50.0} for _ in range(5)]
+            )
+            # One store append (one lock acquisition, one fsync) for the
+            # whole batch — five production rows in it.
+            assert calls == [5]
+
+    def test_batch_validation(self, tmp_path):
+        from repro.service.server import MAX_BATCH
+
+        with TuningService(str(tmp_path), port=0, n_workers=1).start() as service:
+            client = TuningClient(service.url)
+            client.register_app("app", "join", seed=7, tuner=TINY_TUNER)
+            for bad in (
+                {"observations": []},
+                {"observations": "nope"},
+                {},
+                {"observations": [{"duration_s": 5.0}]},
+                {"observations": [{"datasize_gb": "wat"}]},
+            ):
+                with pytest.raises(ServiceError) as excinfo:
+                    client._request("POST", "/apps/app/observe_batch", bad)
+                assert excinfo.value.status == 400
+            too_many = [{"datasize_gb": 1.0}] * (MAX_BATCH + 1)
+            with pytest.raises(ServiceError) as excinfo:
+                client.observe_batch("app", too_many)
+            assert excinfo.value.status == 400
+            assert str(MAX_BATCH) in str(excinfo.value)
+            with pytest.raises(ServiceError) as excinfo:
+                client.observe_batch("ghost", [{"datasize_gb": 1.0}])
+            assert excinfo.value.status == 404
+
+
+class TestBackpressure:
+    """max_pending turns queue growth into 429 + Retry-After."""
+
+    def test_scheduler_raises_when_saturated(self):
+        from repro.service import SchedulerSaturatedError
+
+        gate = threading.Event()
+        scheduler = JobScheduler(n_workers=1, max_pending=1)
+        try:
+            scheduler.submit("a", gate.wait, kind="block")
+            time.sleep(0.05)  # let the worker pick it up
+            scheduler.submit("a", lambda: None, kind="queued")
+            with pytest.raises(SchedulerSaturatedError) as excinfo:
+                scheduler.submit("a", lambda: None, kind="rejected")
+            assert excinfo.value.pending == 1
+            assert excinfo.value.retry_after_s >= 1.0
+        finally:
+            gate.set()
+            scheduler.shutdown(wait=True)
+
+    def test_http_429_with_retry_after(self, tmp_path):
+        service = TuningService(
+            str(tmp_path), port=0, n_workers=1, max_pending=1
+        ).start()
+        gate = threading.Event()
+        try:
+            client = TuningClient(service.url)
+            client.register_app("app", "join", seed=7, tuner=TINY_TUNER)
+            client.observe("app", 100.0)  # bootstrap while the pool is free
+            service.scheduler.submit("blocker", gate.wait, kind="block")
+            time.sleep(0.05)
+            queued = client.observe("app", 100.0, duration_s=50.0, wait=False)
+            assert queued["status"] == "queued"
+            with pytest.raises(ServiceError) as excinfo:
+                client.observe("app", 100.0, duration_s=50.0, wait=False)
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after >= 1.0
+            assert "retry" in excinfo.value.message
+        finally:
+            gate.set()
+            service.close()
+
+
+class TestDrainAndShutdown:
+    def test_drain_finishes_queued_jobs(self):
+        done = []
+        scheduler = JobScheduler(n_workers=1)
+        for i in range(3):
+            scheduler.submit("a", lambda i=i: done.append(i), kind="work")
+        assert scheduler.drain(timeout=30.0) is True
+        assert done == [0, 1, 2]
+        # A drained scheduler refuses new work but stays queryable.
+        with pytest.raises(RuntimeError, match="draining"):
+            scheduler.submit("a", lambda: None, kind="late")
+        scheduler.shutdown(wait=True)
+
+    def test_drain_rejections_surface_as_503(self, tmp_path):
+        with TuningService(str(tmp_path), port=0, n_workers=1, admin=True).start() as service:
+            client = TuningClient(service.url)
+            client.register_app("app", "join", seed=7, tuner=TINY_TUNER)
+            assert client._request("POST", "/admin/drain") == {"status": "drained"}
+            assert service.drained.is_set()
+            with pytest.raises(ServiceError) as excinfo:
+                client.observe("app", 100.0)
+            assert excinfo.value.status == 503
+
+    def test_admin_drain_is_404_unless_enabled(self, tmp_path):
+        with TuningService(str(tmp_path), port=0, n_workers=1).start() as service:
+            client = TuningClient(service.url)
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("POST", "/admin/drain")
+            assert excinfo.value.status == 404
+
+
+class TestRequestLogging:
+    def test_silent_by_default_verbose_on_request(self, tmp_path, capfd):
+        with TuningService(str(tmp_path / "a"), port=0, n_workers=1).start() as service:
+            TuningClient(service.url).health()
+        captured = capfd.readouterr()
+        assert "GET /healthz" not in captured.err
+
+        with TuningService(
+            str(tmp_path / "b"), port=0, n_workers=1, log_requests=True
+        ).start() as service:
+            TuningClient(service.url).health()
+        captured = capfd.readouterr()
+        assert "GET /healthz" in captured.err
