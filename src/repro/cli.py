@@ -28,6 +28,7 @@ from repro.core.qcsa import QCSA, analyze_samples
 from repro.harness.report import format_table
 from repro.sparksim import SparkSQLSimulator, get_application, list_benchmarks
 from repro.sparksim.cluster import get_cluster
+from repro.surrogate.policy import SURROGATE_BACKENDS
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -66,6 +67,14 @@ def build_parser() -> argparse.ArgumentParser:
         "reuses one engine with exact rank-k Cholesky extends and "
         "warm-started MCMC chains (same quality, far lower optimizer time "
         "on long histories)",
+    )
+    tune.add_argument(
+        "--surrogate-backend", choices=SURROGATE_BACKENDS, default="exact",
+        help="surrogate GP backend: 'exact' (default, full-history GP, "
+        "bit-for-bit the historic trajectory), 'windowed' (recent window + "
+        "high-information coreset, O(W^2) per decision), 'sparse' (Nystrom "
+        "inducing points, O(m^2) per decision), or 'auto' (pick by history "
+        "size; see docs/architecture.md)",
     )
     tune.add_argument("--output", help="write spark-defaults.conf here")
     tune.add_argument(
@@ -141,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
         "controller.detector themselves: 'ph' (Page-Hinkley over the "
         "DAGP's standardized residuals, the default), 'cusum', or "
         "'ratio' (the legacy fixed-window heuristic)",
+    )
+    serve.add_argument(
+        "--surrogate-backend", default="exact", choices=SURROGATE_BACKENDS,
+        help="default surrogate GP backend for tenants that do not set "
+        "tuner.surrogate_backend themselves: 'exact' (default), 'windowed', "
+        "'sparse', or 'auto' (pick by history size)",
     )
 
     loadgen = sub.add_parser(
@@ -273,6 +288,7 @@ def cmd_tune(args) -> int:
         simulator, app, rng=args.seed, max_iterations=args.iterations,
         n_workers=args.workers, transfer_from=plan,
         surrogate_mode=args.surrogate,
+        surrogate_backend=args.surrogate_backend,
     )
     result = locat.tune(args.datasize)
     if plan is not None:
@@ -390,6 +406,7 @@ def cmd_serve(args) -> int:
             n_workers=args.tuning_threads, eval_workers=args.eval_workers,
             default_warm_start=args.warm_start,
             default_detector=args.drift_detector,
+            default_surrogate_backend=args.surrogate_backend,
             max_pending=args.max_pending, log_requests=args.log_requests,
         )
         rehydrated = service.registry.app_ids()
@@ -402,6 +419,7 @@ def cmd_serve(args) -> int:
             tuning_threads=args.tuning_threads, eval_workers=args.eval_workers,
             default_warm_start=args.warm_start,
             default_detector=args.drift_detector,
+            default_surrogate_backend=args.surrogate_backend,
             max_pending=args.max_pending, log_requests=args.log_requests,
         )
         print(

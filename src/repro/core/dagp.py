@@ -49,7 +49,10 @@ from repro.bo.gp import GaussianProcess
 from repro.bo.kernels import Matern52Kernel
 from repro.bo.mcmc import slice_sample_chain
 from repro.stats.sampling import ensure_rng
+from repro.surrogate.policy import BackendPolicy, validate_backend
+from repro.surrogate.sparse import SparseGP
 from repro.surrogate.stack import ModelStack
+from repro.surrogate.windowed import WindowedGP
 
 #: Datasize normalization reference: 1 TB, the largest size the paper uses.
 DATASIZE_REFERENCE_GB = 1024.0
@@ -90,6 +93,15 @@ class DatasizeAwareGP:
     ``n_mcmc`` controls the EI-MCMC marginalization: acquisition values
     are averaged over that many posterior hyper-parameter samples (0
     disables marginalization and uses the current point estimate).
+
+    ``backend`` selects the GP implementation underneath: ``"exact"``
+    (the default — bit-for-bit the pre-backend engine), ``"windowed"``
+    (:class:`~repro.surrogate.windowed.WindowedGP`, O(W^2) per
+    decision), ``"sparse"``
+    (:class:`~repro.surrogate.sparse.SparseGP`, O(m^2), point-estimate
+    EI only), or ``"auto"``, which resolves through ``backend_policy``
+    by history size and refits into the next backend when a threshold
+    is crossed.
     """
 
     def __init__(
@@ -100,6 +112,8 @@ class DatasizeAwareGP:
         transfer_noise_variance: float = TRANSFER_NOISE_VARIANCE,
         mcmc_warm_burn_in: int = MCMC_WARM_BURN_IN,
         mcmc_refresh_every: int = MCMC_REFRESH_EVERY,
+        backend: str = "exact",
+        backend_policy: BackendPolicy | None = None,
     ):
         if config_dim <= 0:
             raise ValueError("config_dim must be positive")
@@ -113,8 +127,13 @@ class DatasizeAwareGP:
         self.transfer_noise_variance = float(transfer_noise_variance)
         self.mcmc_warm_burn_in = int(mcmc_warm_burn_in)
         self.mcmc_refresh_every = int(mcmc_refresh_every)
+        self.backend = validate_backend(backend)
+        self.backend_policy = backend_policy if backend_policy is not None else BackendPolicy()
+        #: The concrete backend currently in force ("auto" resolves at
+        #: fit/extend time; starts exact, where every history starts).
+        self._active_backend = "exact" if self.backend == "auto" else self.backend
         kernel = Matern52Kernel(dim=config_dim + 1, lengthscale=0.5)
-        self.gp = GaussianProcess(kernel, noise_variance=noise_variance)
+        self.gp = self._new_gp(kernel, noise_variance)
         self._x: np.ndarray | None = None
         self._log_t: np.ndarray | None = None
         self._datasizes_gb: np.ndarray | None = None
@@ -138,6 +157,29 @@ class DatasizeAwareGP:
             raise ValueError("config_points and datasizes must have equal length")
         return np.hstack([config_points, ds[:, None]])
 
+    def _new_gp(self, kernel, noise_variance: float):
+        """Build the GP implementation for the active backend."""
+        if self._active_backend == "windowed":
+            policy = self.backend_policy
+            return WindowedGP(
+                kernel,
+                noise_variance=noise_variance,
+                window=policy.window,
+                coreset=policy.coreset,
+            )
+        if self._active_backend == "sparse":
+            return SparseGP(
+                kernel,
+                noise_variance=noise_variance,
+                n_inducing=self.backend_policy.n_inducing,
+            )
+        return GaussianProcess(kernel, noise_variance=noise_variance)
+
+    @property
+    def active_backend(self) -> str:
+        """The concrete backend in force ("auto" resolved, else as set)."""
+        return self._active_backend
+
     def _rebuild_kernel(self, with_fidelity: bool) -> None:
         """Swap the fidelity column in or out, carrying learned theta over.
 
@@ -153,7 +195,7 @@ class DatasizeAwareGP:
         kernel.signal_variance = old_kernel.signal_variance
         shared = min(self.config_dim + 1, old_kernel.dim, dim)
         kernel.lengthscales[:shared] = old_kernel.lengthscales[:shared]
-        self.gp = GaussianProcess(kernel, noise_variance=self.gp.noise_variance)
+        self.gp = self._new_gp(kernel, self.gp.noise_variance)
         self._with_fidelity = with_fidelity
 
     @staticmethod
@@ -214,6 +256,15 @@ class DatasizeAwareGP:
         if x.shape[1] != self.config_dim + 1:
             raise ValueError(f"expected config dim {self.config_dim}, got {x.shape[1] - 1}")
 
+        resolved = (
+            self.backend_policy.select(x.shape[0])
+            if self.backend == "auto"
+            else self.backend
+        )
+        if resolved != self._active_backend:
+            self._active_backend = resolved
+            self.gp = self._new_gp(self.gp.kernel, self.gp.noise_variance)
+
         fidelities = self._validate_fidelities(fidelities, x.shape[0])
         with_fidelity = fidelities is not None and bool(np.any(fidelities > 0))
         if with_fidelity != self._with_fidelity:
@@ -231,7 +282,11 @@ class DatasizeAwareGP:
         )
         self.gp.fit(x, self._log_t, extra_noise=extra_noise)
         self._mcmc_state = None
-        if self.n_mcmc > 0 and x.shape[0] >= 4:
+        if (
+            self.n_mcmc > 0
+            and x.shape[0] >= 4
+            and getattr(self.gp, "supports_mcmc", True)
+        ):
             self._sample_hyperparameters(rng, warm=False)
         else:
             self._theta_samples = []
@@ -274,8 +329,19 @@ class DatasizeAwareGP:
         fidelities = self._validate_fidelities(fidelities, x.shape[0])
         new_fid = fidelities if fidelities is not None else np.zeros(x.shape[0])
 
-        if bool(np.any(new_fid > 0)) and not self._with_fidelity:
-            # Dimensionality change: replay everything through fit().
+        crosses_backend_threshold = (
+            self.backend == "auto"
+            and self.backend_policy.select(self.n_observations + x.shape[0])
+            != self._active_backend
+        )
+        if crosses_backend_threshold or (
+            bool(np.any(new_fid > 0)) and not self._with_fidelity
+        ):
+            # Dimensionality change (fidelity column toggles on) or a
+            # policy threshold crossing (the new backend needs its own
+            # data structures): replay everything through fit().  For a
+            # threshold crossing this is the one-time refit the policy
+            # amortizes — the new backend's fit is itself bounded.
             all_configs = np.vstack([self._x[:, : self.config_dim], x[:, : self.config_dim]])
             return self.fit(
                 all_configs,
@@ -291,6 +357,12 @@ class DatasizeAwareGP:
             extra_noise = self.transfer_noise_variance * new_fid
 
         self.gp.extend(x, np.log(durations), extra_noise=extra_noise)
+        # A windowed backend may have expired rows while absorbing the
+        # new ones; collect the removals so the stacked models can
+        # mirror them instead of refitting.
+        removed: list[int] = []
+        if hasattr(self.gp, "pop_removed_indices"):
+            removed = self.gp.pop_removed_indices()
         self._x = np.vstack([self._x, x])
         self._log_t = np.concatenate([self._log_t, np.log(durations)])
         self._datasizes_gb = np.concatenate(
@@ -298,20 +370,35 @@ class DatasizeAwareGP:
         )
         self._fidelities = np.concatenate([self._fidelities, new_fid])
 
-        if self.n_mcmc > 0 and self._x.shape[0] >= 4:
+        if (
+            self.n_mcmc > 0
+            and self._x.shape[0] >= 4
+            and getattr(self.gp, "supports_mcmc", True)
+        ):
             self._extends_since_mcmc += 1
             # The first extend converts an exact (fit-built) stack to the
             # fast precision-matrix form alongside its warm chain
             # refresh; afterwards the chain is only advanced every
             # ``mcmc_refresh_every``-th call and the stacked models are
-            # extended in place in between.
+            # extended in place in between.  The shape guard catches the
+            # rare case where the windowed backend refit internally (a
+            # batch wider than its window): the stack no longer mirrors
+            # the active set and must be rebuilt.
+            stack_in_sync = (
+                self._stack is not None
+                and self._stack.n_samples - len(removed) + x.shape[0]
+                == self.gp.n_samples
+            )
             if (
                 self._stack is None
                 or not self._stack.fast
+                or not stack_in_sync
                 or self._extends_since_mcmc >= self.mcmc_refresh_every
             ):
                 self._sample_hyperparameters(rng, warm=True, fast=True)
             else:
+                for index in removed:
+                    self._stack.remove_row(index)
                 self._stack.extend(
                     x,
                     self.gp.standardized_targets,
@@ -342,6 +429,10 @@ class DatasizeAwareGP:
             n_mcmc=0,
             noise_variance=self.noise_variance,
             transfer_noise_variance=self.transfer_noise_variance,
+            # Pin the copy to the *resolved* backend: a liar copy's few
+            # rank-1 lies must never trigger a policy refit mid-batch.
+            backend=self._active_backend,
+            backend_policy=self.backend_policy,
         )
         copy.gp = self.gp.shallow_copy()
         copy._x = self._x

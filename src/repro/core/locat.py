@@ -59,6 +59,7 @@ from repro.sparksim.configspace import Configuration
 from repro.sparksim.engine import SparkSQLSimulator
 from repro.sparksim.query import Application
 from repro.stats.sampling import ensure_rng
+from repro.surrogate.policy import validate_backend
 from repro.transfer.donor import TransferPlan, cps_agreement
 from repro.transfer.fingerprint import WorkloadFingerprint, fingerprint_similarity
 
@@ -103,6 +104,7 @@ class LOCAT:
         transfer_from: TransferPlan | None = None,
         n_transfer_bootstrap: int = DEFAULT_N_TRANSFER_BOOTSTRAP,
         surrogate_mode: str = "full",
+        surrogate_backend: str = "exact",
         n_adapt_iterations: int | None = None,
         rng: int | np.random.Generator | None = None,
     ):
@@ -132,6 +134,14 @@ class LOCAT:
         #: reproducible path), "incremental" reuses one engine per loop
         #: with exact rank-k extends and warm-started MCMC chains.
         self.surrogate_mode = surrogate_mode
+        #: GP implementation underneath every surrogate this orchestrator
+        #: builds — the session loops *and* the monitoring predictor
+        #: behind :meth:`predict_log_duration`.  "exact" (default) is
+        #: bit-for-bit the single-backend engine; "windowed"/"sparse"
+        #: bound per-decision cost on long histories; "auto" resolves by
+        #: history size through the default
+        #: :class:`~repro.surrogate.policy.BackendPolicy`.
+        self.surrogate_backend = validate_backend(surrogate_backend)
         if n_adapt_iterations is not None and int(n_adapt_iterations) < 1:
             raise ValueError("n_adapt_iterations must be at least 1")
         #: BO budget of a drift-triggered :meth:`adapt` session; None
@@ -239,6 +249,7 @@ class LOCAT:
             n_candidates=192,
             batch_size=self.n_workers,
             surrogate_mode=self.surrogate_mode,
+            surrogate_backend=self.surrogate_backend,
             rng=self.rng,
         )
         loop.minimize(
@@ -564,7 +575,12 @@ class LOCAT:
                 )
                 self._predictor_count = count
             return self._predictor
-        predictor = DatasizeAwareGP(iicp.n_components, n_mcmc=0)
+        # The monitoring predictor inherits the tenant's backend setting:
+        # it is extended on every production run, so an aging tenant's
+        # drift checks must stay O(W) too, not O(history).
+        predictor = DatasizeAwareGP(
+            iicp.n_components, n_mcmc=0, backend=self.surrogate_backend
+        )
         predictor.fit(
             np.stack([iicp.encode(o.config) for o in self._observations]),
             np.array([o.datasize_gb for o in self._observations]),
@@ -952,6 +968,7 @@ class LOCAT:
                 n_mcmc=self.n_mcmc,
                 batch_size=self.n_workers,
                 surrogate_mode=session_surrogate,
+                surrogate_backend=self.surrogate_backend,
                 rng=self.rng,
             )
             trace = loop.minimize(

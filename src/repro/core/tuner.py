@@ -41,6 +41,16 @@ refitting a fresh model per pending point.
   amortized; the trajectory is statistically equivalent but not
   RNG-identical to ``"full"``.
 
+``surrogate_backend`` independently selects the GP implementation
+underneath (:mod:`repro.surrogate.policy`): ``"exact"`` (default —
+bit-for-bit the single-backend engine), ``"windowed"`` / ``"sparse"``
+(bounded per-decision cost for long histories), or ``"auto"``
+(policy-resolved by history size).  A tuning session's few dozen
+evaluations stay below any sensible policy threshold, so ``"auto"``
+behaves exactly like ``"exact"`` here; the setting matters for
+long-lived service tenants whose warm histories reach thousands of
+rows.
+
 Warm observations may carry a *fidelity* (``warm_fidelities``): rows at
 fidelity 0 are the caller's own observations, rows at fidelity > 0 are
 low-fidelity prior data transplanted from another application (see
@@ -66,6 +76,7 @@ from repro.bo.optimize import maximize_acquisition, propose_batch
 from repro.core.dagp import DatasizeAwareGP
 from repro.core.datasize import normalize_datasize
 from repro.stats.sampling import ensure_rng
+from repro.surrogate.policy import BackendPolicy, validate_backend
 
 #: Paper defaults (section 3.4).
 DEFAULT_N_INIT = 3
@@ -146,6 +157,8 @@ class BOLoop:
         batch_size: int = 1,
         liar_strategy: str = "min",
         surrogate_mode: str = "full",
+        surrogate_backend: str = "exact",
+        backend_policy: BackendPolicy | None = None,
         rng: int | np.random.Generator | None = None,
     ):
         if dim <= 0:
@@ -154,6 +167,7 @@ class BOLoop:
             raise ValueError("batch_size must be at least 1")
         if surrogate_mode not in ("full", "incremental"):
             raise ValueError("surrogate_mode must be 'full' or 'incremental'")
+        validate_backend(surrogate_backend)
         n_init = min(n_init, max_iterations)  # small budgets shrink the design
         self.dim = dim
         if bounds is None:
@@ -175,6 +189,8 @@ class BOLoop:
         self.batch_size = batch_size
         self.liar_strategy = liar_strategy
         self.surrogate_mode = surrogate_mode
+        self.surrogate_backend = surrogate_backend
+        self.backend_policy = backend_policy
         self.rng = ensure_rng(rng)
 
     # ------------------------------------------------------------------
@@ -289,7 +305,16 @@ class BOLoop:
         while trace.n_evaluations - n_warm < self.max_iterations:
             unit_points = self._to_unit(np.stack(trace.points))
             if model is None or not incremental:
-                model = DatasizeAwareGP(self.dim, n_mcmc=self.n_mcmc)
+                model = DatasizeAwareGP(
+                    self.dim,
+                    n_mcmc=self.n_mcmc,
+                    backend=self.surrogate_backend,
+                    **(
+                        {"backend_policy": self.backend_policy}
+                        if self.backend_policy is not None
+                        else {}
+                    ),
+                )
                 model.fit(
                     unit_points,
                     np.array(trace.datasizes),

@@ -43,6 +43,7 @@ from repro.service.store import (
 from repro.sparksim import SparkSQLSimulator, get_application, list_benchmarks
 from repro.sparksim.cluster import get_cluster
 from repro.sparksim.serialize import config_from_dict, config_to_dict
+from repro.surrogate.policy import SURROGATE_BACKENDS
 from repro.transfer import (
     WorkloadFingerprint,
     build_transfer_plan,
@@ -56,7 +57,7 @@ TUNER_KEYS = frozenset(
         "min_iterations", "max_iterations", "ei_threshold", "n_mcmc",
         "refit_interval", "use_qcsa", "use_iicp", "use_dagp", "use_polish",
         "n_workers", "n_transfer_bootstrap", "surrogate_mode",
-        "n_adapt_iterations",
+        "surrogate_backend", "n_adapt_iterations",
     }
 )
 
@@ -183,6 +184,7 @@ class TuningRegistry:
         max_eval_workers: int | None = None,
         default_warm_start: str = "cold",
         default_detector: str = "ph",
+        default_surrogate_backend: str = "exact",
     ):
         if default_eval_workers < 1:
             raise ValueError("default_eval_workers must be at least 1")
@@ -198,12 +200,23 @@ class TuningRegistry:
                 f"default_detector must be one of {DETECTOR_MODES}, "
                 f"got {default_detector!r}"
             )
+        if default_surrogate_backend not in SURROGATE_BACKENDS:
+            raise ValueError(
+                f"default_surrogate_backend must be one of {SURROGATE_BACKENDS}, "
+                f"got {default_surrogate_backend!r}"
+            )
         self.store = store
         #: Warm-start mode for registrations that do not choose one.
         self.default_warm_start = default_warm_start
         #: Drift-detector mode for tenants that do not set
         #: ``controller.detector`` themselves (service-level default).
         self.default_detector = default_detector
+        #: Surrogate backend for tenants that do not set
+        #: ``tuner.surrogate_backend`` themselves (service-level
+        #: default).  Applied at session construction, not persisted, so
+        #: changing the service default re-homes existing tenants on the
+        #: next restart while explicit tenant choices stick.
+        self.default_surrogate_backend = default_surrogate_backend
         #: Evaluation parallelism given to sessions whose tenants did not
         #: set ``tuner.n_workers`` themselves (service-level default).
         self.default_eval_workers = int(default_eval_workers)
@@ -283,6 +296,11 @@ class TuningRegistry:
                 "tuner.surrogate_mode must be 'full' or 'incremental', "
                 f"got {tuner['surrogate_mode']!r}"
             )
+        if tuner.get("surrogate_backend", "exact") not in SURROGATE_BACKENDS:
+            raise ValueError(
+                f"tuner.surrogate_backend must be one of {SURROGATE_BACKENDS}, "
+                f"got {tuner['surrogate_backend']!r}"
+            )
         if not CONTROLLER_KEYS.issuperset(controller):
             raise ValueError(
                 f"unknown controller settings: {sorted(set(controller) - CONTROLLER_KEYS)}"
@@ -347,6 +365,7 @@ class TuningRegistry:
         app = get_application(meta["benchmark"])
         tuner_kwargs = dict(meta.get("tuner", {}))
         tuner_kwargs.setdefault("n_workers", self.default_eval_workers)
+        tuner_kwargs.setdefault("surrogate_backend", self.default_surrogate_backend)
         if self.max_eval_workers is not None:
             tuner_kwargs["n_workers"] = min(
                 int(tuner_kwargs["n_workers"]), self.max_eval_workers

@@ -102,6 +102,7 @@ class TuningService:
         rehydrate: bool = True,
         default_warm_start: str = "cold",
         default_detector: str = "ph",
+        default_surrogate_backend: str = "exact",
         max_pending: int | None = None,
         log_requests: bool = False,
         admin: bool = False,
@@ -118,7 +119,10 @@ class TuningService:
         that do not pick a mode themselves ("cold" or "transfer");
         ``default_detector`` is the drift-detection mode for tenants
         that do not set ``controller.detector`` ("ph", "cusum", or
-        "ratio").
+        "ratio"); ``default_surrogate_backend`` is the surrogate GP
+        backend for tenants that do not set
+        ``tuner.surrogate_backend`` ("exact", "windowed", "sparse", or
+        "auto" — see :mod:`repro.surrogate.policy`).
 
         ``max_pending`` bounds the scheduler's queued backlog: beyond it
         submissions answer 429 with a ``Retry-After`` hint instead of
@@ -141,6 +145,7 @@ class TuningService:
             max_eval_workers=total_slots,
             default_warm_start=default_warm_start,
             default_detector=default_detector,
+            default_surrogate_backend=default_surrogate_backend,
         )
         self.scheduler = JobScheduler(
             n_workers=n_workers,

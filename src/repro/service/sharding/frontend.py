@@ -61,6 +61,7 @@ class ShardedTuningService:
         eval_workers: int = 1,
         default_warm_start: str = "cold",
         default_detector: str = "ph",
+        default_surrogate_backend: str = "exact",
         max_pending: int | None = None,
         log_requests: bool = False,
         service_factory=None,
@@ -88,6 +89,7 @@ class ShardedTuningService:
                     eval_workers=eval_workers,
                     default_warm_start=default_warm_start,
                     default_detector=default_detector,
+                    default_surrogate_backend=default_surrogate_backend,
                     max_pending=max_pending,
                     log_requests=log_requests,
                     # Single-worker mode keeps legacy job ids so the

@@ -46,6 +46,7 @@ class WorkerSpec:
     eval_workers: int = 1
     default_warm_start: str = "cold"
     default_detector: str = "ph"
+    default_surrogate_backend: str = "exact"
     max_pending: int | None = None
     log_requests: bool = False
     #: Job-id namespace, e.g. ``"w2-"`` — empty for single-worker mode
@@ -69,6 +70,7 @@ def default_service(spec: WorkerSpec) -> TuningService:
         rehydrate=True,
         default_warm_start=spec.default_warm_start,
         default_detector=spec.default_detector,
+        default_surrogate_backend=spec.default_surrogate_backend,
         max_pending=spec.max_pending,
         log_requests=spec.log_requests,
         admin=True,

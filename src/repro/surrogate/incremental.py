@@ -1,6 +1,6 @@
 """Exact incremental linear algebra for Gaussian process surrogates.
 
-Two small primitives with an outsized effect on optimizer time:
+Three small primitives with an outsized effect on optimizer time:
 
 * :func:`cholesky_append` — the block (rank-k) Cholesky update.  Given
   the factor of the current training covariance, appending k
@@ -8,14 +8,19 @@ Two small primitives with an outsized effect on optimizer time:
   and the result is *algebraically identical* to factorizing the
   extended matrix from scratch (the block formula is exact; only
   floating-point round-off differs).
-* :class:`LMLCache` — a per-theta memo for log-marginal-likelihood
-  values.  Univariate slice sampling re-evaluates the posterior at the
-  current state once per coordinate update (plus every step-out bound it
-  revisits); each of those evaluations is a full kernel build and
-  Cholesky factorization.  Memoizing by the exact hyper-parameter bytes
-  returns the identical float for identical states, so the sampler's
-  accept/reject decisions — and therefore its RNG draw sequence — are
-  unchanged.
+* :func:`cholesky_downdate` — the mirror operation: remove one
+  row/column from a factored covariance in O(n^2) via a positive
+  rank-1 Cholesky update of the trailing block.  Appending with
+  :func:`cholesky_append` and downdating the oldest row slides a
+  fixed-size window across an unbounded history at O(W^2) per step.
+* :class:`LMLCache` — a bounded per-theta LRU memo for
+  log-marginal-likelihood values.  Univariate slice sampling
+  re-evaluates the posterior at the current state once per coordinate
+  update (plus every step-out bound it revisits); each of those
+  evaluations is a full kernel build and Cholesky factorization.
+  Memoizing by the exact hyper-parameter bytes returns the identical
+  float for identical states, so the sampler's accept/reject decisions
+  — and therefore its RNG draw sequence — are unchanged.
 """
 
 from __future__ import annotations
@@ -63,8 +68,61 @@ def cholesky_append(
     return out
 
 
+def _rank_one_update(lower: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Return the lower Cholesky factor of ``L @ L.T + v @ v.T``.
+
+    The classic Givens-style sweep: each step rotates the update vector
+    into one column of the factor.  Adding a positive rank-1 term keeps
+    the matrix positive definite, so — unlike the subtractive downdate —
+    this never breaks down.  O(n^2).
+    """
+    out = np.array(lower, dtype=float, copy=True)
+    v = np.array(v, dtype=float, copy=True)
+    n = out.shape[0]
+    for j in range(n):
+        d = out[j, j]
+        r = np.hypot(d, v[j])
+        c = r / d
+        s = v[j] / d
+        out[j, j] = r
+        if j + 1 < n:
+            out[j + 1 :, j] = (out[j + 1 :, j] + s * v[j + 1 :]) / c
+            v[j + 1 :] = c * v[j + 1 :] - s * out[j + 1 :, j]
+    return out
+
+
+def cholesky_downdate(lower: np.ndarray, index: int = 0) -> np.ndarray:
+    """Remove one row/column from a lower Cholesky factor in O(n^2).
+
+    With ``lower @ lower.T == K`` (n x n), returns the lower factor of
+    ``K`` with row/column ``index`` deleted — the mirror of
+    :func:`cholesky_append`.  The default ``index=0`` removes the
+    *oldest* observation, which is the sliding-window case; an arbitrary
+    index supports coreset eviction.
+
+    Partitioning ``lower`` around row ``i`` as ``[[L11, 0, 0],
+    [l21, l22, 0], [L31, l32, L33]]``, the reduced covariance keeps
+    ``L11`` and ``L31`` unchanged while the trailing block satisfies
+    ``L33' @ L33'.T == L33 @ L33.T + l32 @ l32.T`` — a positive rank-1
+    update, performed by a Givens sweep.  The result is algebraically
+    identical to factorizing the reduced matrix from scratch.
+    """
+    lower = np.asarray(lower, dtype=float)
+    n = lower.shape[0]
+    if lower.shape != (n, n):
+        raise ValueError("lower must be square")
+    if not -n <= index < n:
+        raise IndexError(f"index {index} out of range for factor of size {n}")
+    i = index % n
+    out = np.zeros((n - 1, n - 1))
+    out[:i, :i] = np.tril(lower[:i, :i])
+    out[i:, :i] = lower[i + 1 :, :i]
+    out[i:, i:] = _rank_one_update(lower[i + 1 :, i + 1 :], lower[i + 1 :, i])
+    return out
+
+
 class LMLCache:
-    """Memo of ``theta -> log marginal likelihood`` for one training set.
+    """Bounded LRU memo of ``theta -> log marginal likelihood``.
 
     Keys are the exact bytes of the hyper-parameter vector: two states
     are "the same" only when they are bit-identical, which is exactly
@@ -72,6 +130,12 @@ class LMLCache:
     forward unchanged).  The cache MUST be cleared whenever the training
     data changes (``fit`` / ``extend``) — the value is a function of
     (theta, data), and only theta is in the key.
+
+    Eviction is least-recently-used, one entry at a time, so a
+    long-lived tenant whose chain revisits a small working set of states
+    keeps those states hot instead of losing the whole memo at the cap.
+    ``hits`` / ``misses`` / ``evictions`` persist across ``clear()`` so
+    a benchmark can report totals over a whole session.
     """
 
     def __init__(self, maxsize: int = 4096):
@@ -81,6 +145,7 @@ class LMLCache:
         self._values: dict[bytes, float] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._values)
@@ -90,19 +155,37 @@ class LMLCache:
         return np.ascontiguousarray(theta, dtype=float).tobytes()
 
     def get(self, theta: np.ndarray) -> float | None:
-        value = self._values.get(self._key(theta))
+        key = self._key(theta)
+        value = self._values.get(key)
         if value is None:
             self.misses += 1
         else:
             self.hits += 1
+            # Dicts preserve insertion order; re-inserting marks the
+            # entry most-recently-used.
+            del self._values[key]
+            self._values[key] = value
         return value
 
     def put(self, theta: np.ndarray, value: float) -> None:
-        if len(self._values) >= self.maxsize:
-            # Chains are short-lived relative to the cap; a full reset is
-            # simpler than LRU bookkeeping and amortizes to nothing.
-            self._values.clear()
-        self._values[self._key(theta)] = float(value)
+        key = self._key(theta)
+        if key not in self._values and len(self._values) >= self.maxsize:
+            oldest = next(iter(self._values))
+            del self._values[oldest]
+            self.evictions += 1
+        else:
+            self._values.pop(key, None)
+        self._values[key] = float(value)
 
     def clear(self) -> None:
         self._values.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters plus current occupancy, for reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._values),
+            "maxsize": self.maxsize,
+        }

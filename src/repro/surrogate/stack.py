@@ -27,7 +27,7 @@ from scipy.linalg import cho_solve, cholesky
 
 from repro.bo.acquisition import expected_improvement
 from repro.bo.kernels import stacked_cross
-from repro.surrogate.incremental import cholesky_append
+from repro.surrogate.incremental import cholesky_append, cholesky_downdate
 
 _JITTER = 1e-8
 
@@ -239,6 +239,55 @@ class ModelStack:
                 # updates: the formula is symmetric, round-off is not.
                 self.precisions[s] = (grown + grown.T) / 2.0
         self._x = np.vstack([self._x, x_new])
+        self._y_mean = float(y_mean)
+        self._y_std = float(y_std)
+        return self
+
+    def remove_row(self, index: int) -> "ModelStack":
+        """Delete one training row from every stacked model, O(n^2) each.
+
+        Mirrors :meth:`extend`: the per-model Cholesky factors shrink by
+        a downdate, and in fast mode the precision matrices shrink by
+        the exact block-inverse reduction
+        ``(K w/o row i)^-1 = P' - p_i p_i^T / P_ii`` (``P'`` = P without
+        row/column i).  The ``alpha`` vectors are left *stale* — row
+        removal shifts the shared target standardization, so callers
+        must follow up with :meth:`extend` (the sliding-window case:
+        removals only ever happen because new rows arrived) or
+        :meth:`set_targets` before predicting.
+        """
+        n = self.n_samples
+        if not -n <= index < n:
+            raise IndexError(f"index {index} out of range for {n} rows")
+        i = index % n
+        for s in range(self.n_models):
+            self.lowers[s] = cholesky_downdate(self.lowers[s], i)
+            if self.precisions is not None:
+                p = self.precisions[s]
+                p_col = np.delete(p[:, i], i)
+                p_ii = p[i, i]
+                reduced = np.delete(np.delete(p, i, axis=0), i, axis=1)
+                reduced = reduced - np.outer(p_col, p_col) / p_ii
+                self.precisions[s] = (reduced + reduced.T) / 2.0
+        self._x = np.delete(self._x, i, axis=0)
+        return self
+
+    def set_targets(
+        self, y_standardized: np.ndarray, y_mean: float, y_std: float
+    ) -> "ModelStack":
+        """Re-solve every model's ``alpha`` against new shared targets.
+
+        Completes a :meth:`remove_row` sequence when no :meth:`extend`
+        follows (the factors are already correct; only the target-side
+        solves were stale).
+        """
+        y_standardized = np.asarray(y_standardized, dtype=float).ravel()
+        if y_standardized.shape[0] != self.n_samples:
+            raise ValueError("y_standardized must have one value per row")
+        for s in range(self.n_models):
+            self.alphas[s] = cho_solve(
+                (self.lowers[s], True), y_standardized, check_finite=False
+            )
         self._y_mean = float(y_mean)
         self._y_std = float(y_std)
         return self

@@ -1,0 +1,338 @@
+"""Sliding-window GP backend with a high-information coreset.
+
+An exact GP pays O(n^2) per appended row and O(n^3) per refit, which is
+fine for a 60-evaluation tuning session but not for a long-lived tenant
+whose history keeps growing.  :class:`WindowedGP` bounds the *active*
+training set: the most recent ``window`` observations stay exact (recent
+rows carry the most information about the current optimum and any
+drifted regime), plus up to ``coreset`` older rows kept because the
+model would be most uncertain without them.
+
+The active set slides in O(W^2) per step using the
+:func:`~repro.surrogate.incremental.cholesky_append` /
+:func:`~repro.surrogate.incremental.cholesky_downdate` pair — no refits:
+
+* A new observation is appended rank-1.
+* When the window overflows, the oldest window row either *graduates*
+  into the coreset (free — a relabel) or competes with the existing
+  coreset rows on leave-one-out posterior variance
+  ``1 / [K^-1]_jj`` (one O(W^2) triangular solve per candidate): the
+  most redundant row — the one the model could best reconstruct from
+  the others — is evicted.  High LOO variance means the model knows
+  nothing about that region without the row, which is exactly the
+  greedy max-posterior-variance coreset criterion.
+
+The class wraps an inner :class:`~repro.bo.gp.GaussianProcess` over the
+active set and exposes the same engine surface (``fit`` / ``extend`` /
+``predict`` / ``acquisition``, hyper-parameter access, LML), so
+EI-MCMC slice sampling and :class:`~repro.surrogate.stack.ModelStack`
+construction work unchanged — their cost is now bounded by the active
+set size, not the history length.  Removals performed during ``extend``
+are logged (:meth:`pop_removed_indices`) so a caller maintaining a
+parallel :class:`ModelStack` can mirror them with
+:meth:`~repro.surrogate.stack.ModelStack.remove_row` instead of
+refitting the stack.
+
+The full raw history is retained (arrays, rebind-only updates) so a
+degenerate batch larger than the window, or a policy-driven backend
+switch, can always refit from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.bo.gp import GaussianProcess
+from repro.bo.kernels import Matern52Kernel, RBFKernel
+
+
+class WindowedGP:
+    """Bounded-cost GP: recent ``window`` rows exact + ``coreset`` keepers.
+
+    ``candidate_pool`` bounds how many older rows the one-off greedy
+    coreset selection in :meth:`fit` scores (an evenly-strided subsample
+    of the pre-window history), keeping the fit cost O(pool * W^2)
+    rather than O(n * W^2) on a 50k-row history.
+    """
+
+    supports_mcmc = True
+
+    def __init__(
+        self,
+        kernel: RBFKernel | Matern52Kernel,
+        noise_variance: float = 1e-4,
+        window: int = 256,
+        coreset: int = 64,
+        candidate_pool: int = 256,
+    ):
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        if coreset < 0:
+            raise ValueError("coreset must be non-negative")
+        self.window = int(window)
+        self.coreset = int(coreset)
+        self.candidate_pool = max(int(candidate_pool), self.coreset)
+        self._gp = GaussianProcess(kernel, noise_variance)
+        self._hist_x: np.ndarray | None = None
+        self._hist_y: np.ndarray | None = None
+        self._hist_extra: np.ndarray | None = None
+        # Per-active-row bookkeeping (aligned with the inner GP's rows;
+        # GP row order is arbitrary, time lives in ``_seq``).
+        self._seq: np.ndarray = np.empty(0, dtype=int)
+        self._is_coreset: np.ndarray = np.empty(0, dtype=bool)
+        self._next_seq = 0
+        self._removed_log: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Delegated engine surface (everything EI-MCMC / ModelStack needs)
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self):
+        return self._gp.kernel
+
+    @property
+    def noise_variance(self) -> float:
+        return self._gp.noise_variance
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._gp.is_fitted
+
+    @property
+    def n_samples(self) -> int:
+        """Size of the *active* set (what every O(...) below is in)."""
+        return self._gp.n_samples
+
+    @property
+    def n_total(self) -> int:
+        """Total observations ever absorbed, active or expired."""
+        return 0 if self._hist_y is None else int(self._hist_y.shape[0])
+
+    @property
+    def training_inputs(self) -> np.ndarray:
+        return self._gp.training_inputs
+
+    @property
+    def standardized_targets(self) -> np.ndarray:
+        return self._gp.standardized_targets
+
+    @property
+    def target_mean(self) -> float:
+        return self._gp.target_mean
+
+    @property
+    def target_std(self) -> float:
+        return self._gp.target_std
+
+    @property
+    def extra_noise_vector(self) -> np.ndarray | None:
+        return self._gp.extra_noise_vector
+
+    @property
+    def chol_lower(self) -> np.ndarray:
+        return self._gp.chol_lower
+
+    @property
+    def n_hyperparameters(self) -> int:
+        return self._gp.n_hyperparameters
+
+    def get_theta(self) -> np.ndarray:
+        return self._gp.get_theta()
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        self._gp.set_theta(theta)
+
+    def log_marginal_likelihood(self, theta: np.ndarray | None = None) -> float:
+        return self._gp.log_marginal_likelihood(theta)
+
+    def lml_cache_stats(self) -> dict[str, int]:
+        return self._gp.lml_cache_stats()
+
+    def predict(self, x_star: np.ndarray, return_std: bool = True):
+        return self._gp.predict(x_star, return_std=return_std)
+
+    def acquisition(self, x_star: np.ndarray, best: float, xi: float = 0.0) -> np.ndarray:
+        return self._gp.acquisition(x_star, best, xi=xi)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def fit(self, x, y, extra_noise=None) -> "WindowedGP":
+        """Fit on the full history, selecting a bounded active set.
+
+        With ``n <= window + coreset`` every row is active (and the
+        posterior is identical to an exact GP's).  Above that, the most
+        recent ``window`` rows are taken exact and the coreset is built
+        greedily: starting from the window-only model, repeatedly add
+        the older row with the highest posterior variance at its own
+        input — the row the current model is most wrong to be missing.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        extra = None if extra_noise is None else np.asarray(extra_noise, dtype=float).ravel()
+        self._hist_x = x
+        self._hist_y = y
+        self._hist_extra = extra
+        self._removed_log = []
+        n = y.shape[0]
+        self._next_seq = n
+        capacity = self.window + self.coreset
+
+        def _extra_rows(idx):
+            return None if extra is None else extra[idx]
+
+        if n <= capacity:
+            self._gp.fit(x, y, extra_noise=extra)
+            self._seq = np.arange(n, dtype=int)
+            # Rows older than the window are coreset by construction.
+            self._is_coreset = self._seq < max(n - self.window, 0)
+            return self
+
+        recent = np.arange(n - self.window, n)
+        self._gp.fit(x[recent], y[recent], extra_noise=_extra_rows(recent))
+        active_idx = list(recent)
+        coreset_flags = [False] * len(recent)
+        # Evenly-strided candidate pool over the pre-window history.
+        older = np.unique(
+            np.linspace(0, n - self.window - 1, min(self.candidate_pool, n - self.window))
+            .round()
+            .astype(int)
+        )
+        pool = list(older)
+        for _ in range(self.coreset):
+            if not pool:
+                break
+            _, stds = self._gp.predict(x[pool])
+            pick = pool.pop(int(np.argmax(stds)))
+            self._gp.extend(
+                x[pick : pick + 1], y[pick : pick + 1],
+                extra_noise=_extra_rows(slice(pick, pick + 1)),
+            )
+            active_idx.append(pick)
+            coreset_flags.append(True)
+        self._seq = np.asarray(active_idx, dtype=int)
+        self._is_coreset = np.asarray(coreset_flags, dtype=bool)
+        return self
+
+    def extend(self, x, y, extra_noise=None) -> "WindowedGP":
+        """Absorb new observations at O(W^2) per row.
+
+        Expired window rows are relabeled into the coreset while it has
+        room, then compete on LOO posterior variance (see module
+        docstring).  Expiry runs *before* the append so a caller
+        mirroring the operations onto a :class:`ModelStack` sees
+        removals whose indices are valid against the pre-append state,
+        followed by one rank-k extend.
+        """
+        if not self.is_fitted:
+            return self.fit(x, y, extra_noise=extra_noise)
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        extra = None if extra_noise is None else np.asarray(extra_noise, dtype=float).ravel()
+        k = y.shape[0]
+        hist_x = np.vstack([self._hist_x, x])
+        hist_y = np.concatenate([self._hist_y, y])
+        if self._hist_extra is None and extra is None:
+            hist_extra = None
+        else:
+            hist_extra = np.concatenate([
+                self._hist_extra if self._hist_extra is not None else np.zeros(self._hist_y.shape[0]),
+                extra if extra is not None else np.zeros(k),
+            ])
+        if k >= self.window:
+            # A batch as large as the window has no incremental path;
+            # refit from the retained history (rare: batches are
+            # normally a handful of parallel evaluations).
+            return self.fit(hist_x, hist_y, extra_noise=hist_extra)
+        self._hist_x = hist_x
+        self._hist_y = hist_y
+        self._hist_extra = hist_extra
+
+        n_window_rows = int(np.count_nonzero(~self._is_coreset))
+        while n_window_rows + k > self.window:
+            self._expire_oldest_window_row()
+            n_window_rows -= 1
+        self._gp.extend(x, y, extra_noise=extra)
+        self._seq = np.concatenate(
+            [self._seq, np.arange(self._next_seq, self._next_seq + k)]
+        )
+        self._is_coreset = np.concatenate([self._is_coreset, np.zeros(k, dtype=bool)])
+        self._next_seq += k
+        return self
+
+    def _expire_oldest_window_row(self) -> None:
+        window_rows = np.flatnonzero(~self._is_coreset)
+        oldest = int(window_rows[np.argmin(self._seq[window_rows])])
+        n_coreset = int(np.count_nonzero(self._is_coreset))
+        flags = self._is_coreset.copy()
+        if n_coreset < self.coreset:
+            flags[oldest] = True
+            self._is_coreset = flags
+            return
+        if self.coreset == 0:
+            evict = oldest
+        else:
+            candidates = np.append(np.flatnonzero(self._is_coreset), oldest)
+            evict = int(candidates[np.argmin(self._loo_variance(candidates))])
+        self._gp.remove_rows([evict])
+        self._removed_log.append(evict)
+        self._seq = np.delete(self._seq, evict)
+        flags = np.delete(flags, evict)
+        if evict != oldest:
+            # The expiring window row survived the competition: it
+            # graduates into the coreset in place of the evicted row.
+            flags[oldest - (evict < oldest)] = True
+        self._is_coreset = flags
+
+    def _loo_variance(self, rows: np.ndarray) -> np.ndarray:
+        """Leave-one-out posterior variance ``1 / [K^-1]_jj`` per row.
+
+        The inverse-covariance diagonal comes from the existing factor:
+        ``[K^-1]_jj = || L^-1 e_j ||^2`` — one O(n^2) triangular solve
+        per candidate, no refits.
+        """
+        lower = self._gp.chol_lower
+        basis = np.zeros((lower.shape[0], len(rows)))
+        basis[rows, np.arange(len(rows))] = 1.0
+        z = solve_triangular(lower, basis, lower=True, check_finite=False)
+        return 1.0 / np.sum(z * z, axis=0)
+
+    # ------------------------------------------------------------------
+    # Caller-synchronization hooks
+    # ------------------------------------------------------------------
+    def pop_removed_indices(self) -> list[int]:
+        """Active-set removals since the last pop, in application order.
+
+        Each index is valid against the state the matrix had when that
+        removal was applied (removals precede the appends of the same
+        ``extend`` call), which is exactly the sequence a mirrored
+        :meth:`ModelStack.remove_row` caller must replay.
+        """
+        removed = self._removed_log
+        self._removed_log = []
+        return removed
+
+    def shallow_copy(self) -> "WindowedGP":
+        """A cheap copy safe to extend independently (liar surrogates).
+
+        The inner GP's shallow copy shares training arrays (rebind-only
+        updates); the small per-row bookkeeping arrays are copied
+        because relabeling mutates them in place.
+        """
+        copy = WindowedGP(
+            self._gp.kernel.clone(),
+            self._gp.noise_variance,
+            window=self.window,
+            coreset=self.coreset,
+            candidate_pool=self.candidate_pool,
+        )
+        copy._gp = self._gp.shallow_copy()
+        copy._hist_x = self._hist_x
+        copy._hist_y = self._hist_y
+        copy._hist_extra = self._hist_extra
+        copy._seq = self._seq.copy()
+        copy._is_coreset = self._is_coreset.copy()
+        copy._next_seq = self._next_seq
+        copy._removed_log = []
+        return copy
