@@ -24,10 +24,12 @@ import numpy as np
 
 from repro.core import LOCAT, SparkSQLObjective
 from repro.core.export import diff_configs, to_spark_defaults_conf
+from repro.core.promotion import PROMOTION_MODES, SHADOW_SEED_SALT
 from repro.core.qcsa import QCSA, analyze_samples
 from repro.harness.report import format_table
 from repro.sparksim import SparkSQLSimulator, get_application, list_benchmarks
 from repro.sparksim.cluster import get_cluster
+from repro.stats.abtest import compare_paired
 from repro.surrogate.policy import SURROGATE_BACKENDS
 
 
@@ -75,6 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
         "high-information coreset, O(W^2) per decision), 'sparse' (Nystrom "
         "inducing points, O(m^2) per decision), or 'auto' (pick by history "
         "size; see docs/architecture.md)",
+    )
+    tune.add_argument(
+        "--promotion", choices=PROMOTION_MODES, default="immediate",
+        help="what happens to the tuned configuration: 'immediate' "
+        "(default, report and write it unconditionally) or 'shadow_ab' "
+        "(measure it against the cluster default under common random "
+        "numbers and report the paired-bootstrap verdict with confidence "
+        "intervals before writing)",
+    )
+    tune.add_argument(
+        "--shadow-runs", type=int, default=6, metavar="N",
+        help="paired shadow measurements for --promotion shadow_ab "
+        "(default: 6)",
+    )
+    tune.add_argument(
+        "--ab-alpha", type=float, default=0.05, metavar="A",
+        help="significance level of the paired bootstrap interval for "
+        "--promotion shadow_ab (default: 0.05)",
     )
     tune.add_argument("--output", help="write spark-defaults.conf here")
     tune.add_argument(
@@ -156,6 +176,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="default surrogate GP backend for tenants that do not set "
         "tuner.surrogate_backend themselves: 'exact' (default), 'windowed', "
         "'sparse', or 'auto' (pick by history size)",
+    )
+    serve.add_argument(
+        "--promotion", default="immediate", choices=PROMOTION_MODES,
+        help="default candidate-promotion mode for tenants that do not set "
+        "controller.promotion themselves: 'immediate' (deploy a retune's "
+        "winner at once, the default) or 'shadow_ab' (shadow-evaluate it "
+        "under common random numbers and deploy only on a significant "
+        "paired-bootstrap win; see docs/promotion.md)",
     )
 
     loadgen = sub.add_parser(
@@ -303,6 +331,44 @@ def cmd_tune(args) -> int:
     rows = [[k, a, b] for k, (a, b) in sorted(changed.items())]
     print(format_table(["parameter", "default", "tuned"], rows, title="Changed parameters"))
 
+    if args.promotion == "shadow_ab":
+        # Gate the tuned config against the cluster defaults: both arms
+        # are measured under common random numbers (identically seeded
+        # generators per pair) and compared with a paired bootstrap.
+        baseline = simulator.space.default()
+        baseline_s, challenger_s = [], []
+        for k in range(args.shadow_runs):
+            seed = (SHADOW_SEED_SALT, args.seed, k)
+            baseline_s.append(
+                simulator.run(
+                    app, baseline, args.datasize, rng=np.random.default_rng(seed)
+                ).duration_s
+            )
+            challenger_s.append(
+                simulator.run(
+                    app, result.best_config, args.datasize,
+                    rng=np.random.default_rng(seed),
+                ).duration_s
+            )
+        test = compare_paired(
+            baseline_s, challenger_s, alpha=args.ab_alpha,
+            seed=(SHADOW_SEED_SALT, args.seed),
+        )
+        print(
+            f"\nShadow A/B vs cluster defaults over {args.shadow_runs} "
+            f"paired runs: mean speedup {test.mean_speedup:.3f}x, "
+            f"log-delta CI [{test.ci_low:+.4f}, {test.ci_high:+.4f}] "
+            f"at alpha={args.ab_alpha:g}"
+        )
+        if test.significant and test.winner == "challenger":
+            print("verdict: promote — tuned config significantly beats the defaults")
+        else:
+            print(
+                "verdict: reject — no significant win over the defaults; "
+                "not writing the tuned configuration"
+            )
+            return 1
+
     conf = to_spark_defaults_conf(
         result.best_config,
         header=(
@@ -407,6 +473,7 @@ def cmd_serve(args) -> int:
             default_warm_start=args.warm_start,
             default_detector=args.drift_detector,
             default_surrogate_backend=args.surrogate_backend,
+            default_promotion=args.promotion,
             max_pending=args.max_pending, log_requests=args.log_requests,
         )
         rehydrated = service.registry.app_ids()
@@ -420,6 +487,7 @@ def cmd_serve(args) -> int:
             default_warm_start=args.warm_start,
             default_detector=args.drift_detector,
             default_surrogate_backend=args.surrogate_backend,
+            default_promotion=args.promotion,
             max_pending=args.max_pending, log_requests=args.log_requests,
         )
         print(

@@ -34,6 +34,7 @@ paper leaves it implicit.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,6 +48,16 @@ from repro.core.drift import (
     make_detector,
 )
 from repro.core.locat import LOCAT
+from repro.core.promotion import (
+    DECISION_EXTEND,
+    DECISION_PROMOTE,
+    PROMOTION_MODES,
+    SHADOW_SEED_SALT,
+    PromotionGate,
+    ShadowPair,
+    ShadowState,
+    winner_record,
+)
 from repro.core.result import TuningResult
 from repro.sparksim.configspace import Configuration
 
@@ -89,6 +100,9 @@ class OnlineDecision:
     result: TuningResult | None = None
     #: What caused a retune: "initial", "datasize", "drift" — or "none".
     trigger: str = "none"
+    #: Shadow/promotion bookkeeping for this observation (None in
+    #: ``promotion="immediate"`` mode and outside shadow activity).
+    promotion: dict | None = None
 
 
 @dataclass
@@ -121,6 +135,15 @@ class OnlineController:
     measurements — a full ``tune`` would re-anchor on stale pre-drift
     trials and loop);  this flag only picks the BO budget: reduced
     (default) or the full ``max_iterations``.
+    ``promotion`` — what happens to a retune's winner: ``"immediate"``
+    (deploy it, bit-for-bit the historic behaviour) or ``"shadow_ab"``
+    (hand it to a :class:`~repro.core.promotion.PromotionGate`: measure
+    incumbent and challenger under common random numbers on the
+    subsequent production slice, deploy only on a significant paired
+    bootstrap win).  ``shadow_runs`` / ``ab_alpha`` parameterize the
+    gate; ``shadow_measure`` overrides how a shadow arm is measured
+    (``(config, datasize_gb, rng) -> duration_s``, defaulting to the
+    tuner's own simulator).
     """
 
     def __init__(
@@ -131,6 +154,12 @@ class OnlineController:
         drift_patience: int = 3,
         detector: str | DriftDetector = "ph",
         partial_retunes: bool = True,
+        promotion: str = "immediate",
+        shadow_runs: int = 6,
+        ab_alpha: float = 0.05,
+        max_shadow_runs: int | None = None,
+        shadow_measure: Callable[[Configuration, float, np.random.Generator], float]
+        | None = None,
     ):
         if datasize_margin <= 0:
             raise ValueError("datasize_margin must be positive")
@@ -138,11 +167,30 @@ class OnlineController:
             raise ValueError("drift_factor must exceed 1.0")
         if drift_patience < 1:
             raise ValueError("drift_patience must be at least 1")
+        if promotion not in PROMOTION_MODES:
+            raise ValueError(
+                f"promotion must be one of {PROMOTION_MODES}, got {promotion!r}"
+            )
         self.locat = locat
         self.datasize_margin = datasize_margin
         self.drift_factor = drift_factor
         self.drift_patience = drift_patience
         self.partial_retunes = bool(partial_retunes)
+        self.promotion = promotion
+        # The gate validates shadow_runs/ab_alpha even in immediate mode
+        # so a bad tenant key fails at construction, not at first drift.
+        self._gate = PromotionGate(
+            min_runs=shadow_runs, alpha=ab_alpha, max_runs=max_shadow_runs
+        )
+        self._shadow_measure = shadow_measure or self._default_shadow_measure
+        self._shadow: ShadowState | None = None
+        self._shadow_counter = 0
+        self._promoted = 0
+        self._rejected = 0
+        self._last_promotion: dict | None = None
+        #: Terminal promote/reject provenance records since the last
+        #: drain (the service registry appends them to ``winners.json``).
+        self.promotion_events: list[dict] = []
         if isinstance(detector, str):
             self._detector: DriftDetector = make_detector(
                 detector, drift_factor=drift_factor, drift_patience=drift_patience
@@ -192,6 +240,82 @@ class OnlineController:
             self._detector.name == "ratio" or self.log_offset is not None
         )
         return status
+
+    # ------------------------------------------------------------------
+    # Promotion / shadow evaluation
+    # ------------------------------------------------------------------
+    @property
+    def shadow_active(self) -> bool:
+        """Whether a challenger is currently under shadow evaluation."""
+        return self._shadow is not None
+
+    def promotion_status(self) -> dict:
+        """JSON-safe promotion diagnostics (served by ``GET /apps/<id>``)."""
+        shadow = None
+        if self._shadow is not None:
+            shadow = {
+                "run_id": self._shadow.run_id,
+                "trigger": self._shadow.trigger,
+                "n_pairs": len(self._shadow.pairs),
+                "min_runs": self._gate.min_runs,
+                "max_runs": self._gate.max_runs,
+                "origin_datasize_gb": self._shadow.origin_datasize_gb,
+            }
+        return {
+            "mode": self.promotion,
+            "shadow_active": self._shadow is not None,
+            "shadow": shadow,
+            "promoted": self._promoted,
+            "rejected": self._rejected,
+            "last_decision": self._last_promotion,
+        }
+
+    def promotion_state(self) -> dict | None:
+        """Restart-surviving promotion snapshot for ``deployed.json``.
+
+        None when there is nothing to persist (immediate mode with no
+        promotion history), keeping historic stores byte-identical.
+        """
+        if (
+            self.promotion == "immediate"
+            and self._shadow is None
+            and self._shadow_counter == 0
+        ):
+            return None
+        return {
+            "mode": self.promotion,
+            "shadow": None if self._shadow is None else self._shadow.to_json(),
+            "counter": self._shadow_counter,
+            "promoted": self._promoted,
+            "rejected": self._rejected,
+            "last_decision": self._last_promotion,
+        }
+
+    def restore_promotion(self, payload: dict | None) -> None:
+        """Rehydrate an in-flight shadow and promotion counters.
+
+        Accepts the block written by :meth:`promotion_state` (absent in
+        legacy stores).  A persisted shadow is only resumed when this
+        controller still runs in ``shadow_ab`` mode: if the operator
+        flipped the tenant back to ``immediate``, the challenger is
+        discarded and the incumbent simply stays deployed — never the
+        other way around (an unvetted candidate must not deploy on
+        restart).
+        """
+        if not payload:
+            return
+        self._shadow_counter = int(payload.get("counter", 0))
+        self._promoted = int(payload.get("promoted", 0))
+        self._rejected = int(payload.get("rejected", 0))
+        self._last_promotion = payload.get("last_decision")
+        shadow = payload.get("shadow")
+        if shadow and self.promotion == "shadow_ab":
+            self._shadow = ShadowState.from_json(shadow)
+
+    def drain_promotion_events(self) -> list[dict]:
+        """Hand off terminal decision records accumulated since last drain."""
+        events, self.promotion_events = self.promotion_events, []
+        return events
 
     def restore_state(
         self,
@@ -293,6 +417,184 @@ class OnlineController:
             self._calibrate(datasize_gb, result.best_duration_s)
 
     # ------------------------------------------------------------------
+    # Shadow evaluation internals
+    # ------------------------------------------------------------------
+    def _default_shadow_measure(
+        self, config: Configuration, datasize_gb: float, rng: np.random.Generator
+    ) -> float:
+        """Measure one shadow arm on the tuner's own simulator.
+
+        Deliberately bypasses ``locat.objective`` so shadow runs never
+        perturb the tuner's trial history, evaluation counts, or
+        incumbent selection.
+        """
+        metrics = self.locat.simulator.run(self.locat.app, config, datasize_gb, rng=rng)
+        return float(metrics.duration_s)
+
+    def _gate_candidate(
+        self,
+        result: TuningResult,
+        datasize_gb: float,
+        duration_s: float | None,
+        trigger: str,
+        reason: str,
+    ) -> OnlineDecision:
+        """Open a shadow for a retune's winner instead of deploying it."""
+        state = self._state
+        assert state is not None
+        if config_key(result.best_config) == config_key(state.config):
+            # The retune re-confirmed the incumbent: nothing to gate.
+            # Re-deploying refreshes the calibration and detector window
+            # exactly like an immediate deploy of the same config would.
+            self._deploy(result, datasize_gb)
+            return OnlineDecision(
+                datasize_gb=datasize_gb,
+                duration_s=result.best_duration_s if duration_s is None else duration_s,
+                retuned=True,
+                reason=f"{reason} — retune re-confirmed the deployed configuration",
+                config=state.config,
+                result=result,
+                trigger=trigger,
+                promotion={"phase": "reconfirmed"},
+            )
+        self._shadow_counter += 1
+        self._shadow = ShadowState(
+            run_id=f"shadow-{trigger}-{self._shadow_counter:04d}",
+            trigger=trigger,
+            reason=reason,
+            incumbent=state.config,
+            challenger=result.best_config,
+            origin_datasize_gb=datasize_gb,
+            challenger_duration_s=float(result.best_duration_s),
+            seed=self._shadow_counter,
+        )
+        # Drift state refers to the pre-retune model; start the shadow
+        # with a clean window so a stale alarm cannot linger past it.
+        self._detector.reset()
+        return OnlineDecision(
+            datasize_gb=datasize_gb,
+            duration_s=result.best_duration_s if duration_s is None else duration_s,
+            retuned=True,
+            reason=f"{reason} — candidate entering shadow evaluation",
+            config=state.config,
+            result=result,
+            trigger=trigger,
+            promotion={
+                "phase": "shadow_started",
+                "run_id": self._shadow.run_id,
+                "n_pairs": 0,
+                "min_runs": self._gate.min_runs,
+                "max_runs": self._gate.max_runs,
+            },
+        )
+
+    def _promote(self, shadow: ShadowState) -> None:
+        """Deploy a shadow's challenger after a significant win."""
+        state = self._state
+        assert state is not None
+        state.config = shadow.challenger
+        if shadow.origin_datasize_gb not in state.tuned_datasizes:
+            state.tuned_datasizes.append(shadow.origin_datasize_gb)
+        state.log_offset = None
+        self._detector.reset()
+        if self._uses_model and shadow.pairs:
+            # The freshest shadow measurement of the challenger is a
+            # full-application duration at a production datasize — the
+            # same role the validation run plays for immediate deploys.
+            last = shadow.pairs[-1]
+            self._calibrate(last.datasize_gb, last.challenger_s)
+
+    def _advance_shadow(
+        self, datasize_gb: float, duration_s: float | None
+    ) -> OnlineDecision:
+        """Measure one CRN pair and ask the gate for a verdict."""
+        state = self._state
+        shadow = self._shadow
+        assert state is not None and shadow is not None
+        k = len(shadow.pairs)
+        # Common random numbers: both arms consume an identically seeded
+        # stream, so the pair shares its environment draw and the delta
+        # cancels the common noise.
+        incumbent_s = self._shadow_measure(
+            shadow.incumbent,
+            datasize_gb,
+            np.random.default_rng((SHADOW_SEED_SALT, shadow.seed, k)),
+        )
+        challenger_s = self._shadow_measure(
+            shadow.challenger,
+            datasize_gb,
+            np.random.default_rng((SHADOW_SEED_SALT, shadow.seed, k)),
+        )
+        shadow.pairs.append(
+            ShadowPair(
+                datasize_gb=datasize_gb,
+                incumbent_s=float(incumbent_s),
+                challenger_s=float(challenger_s),
+            )
+        )
+        decision, test, why = self._gate.evaluate(shadow)
+        reported = float("nan") if duration_s is None else duration_s
+        if decision == DECISION_EXTEND:
+            return OnlineDecision(
+                datasize_gb=datasize_gb,
+                duration_s=reported,
+                retuned=False,
+                reason=f"shadow evaluation in progress: {why}",
+                config=state.config,
+                promotion={
+                    "phase": "shadow",
+                    "run_id": shadow.run_id,
+                    "n_pairs": len(shadow.pairs),
+                    "min_runs": self._gate.min_runs,
+                    "max_runs": self._gate.max_runs,
+                },
+            )
+        record = winner_record(shadow, decision, test, why)
+        self.promotion_events.append(record)
+        self._last_promotion = {
+            "run_id": shadow.run_id,
+            "decision": decision,
+            "reason": why,
+            "n_pairs": len(shadow.pairs),
+            "ab": None if test is None else test.to_json(),
+        }
+        self._shadow = None
+        if decision == DECISION_PROMOTE:
+            self._promoted += 1
+            self._promote(shadow)
+            return OnlineDecision(
+                datasize_gb=datasize_gb,
+                duration_s=reported,
+                retuned=True,
+                reason=f"challenger promoted: {why}",
+                config=state.config,
+                trigger=shadow.trigger,
+                promotion={
+                    "phase": "promoted",
+                    "run_id": shadow.run_id,
+                    "n_pairs": len(shadow.pairs),
+                    "ab": None if test is None else test.to_json(),
+                },
+            )
+        self._rejected += 1
+        # The incumbent stays; give drift detection a fresh window so a
+        # real regression can re-alarm (and re-tune) from here on.
+        self._detector.reset()
+        return OnlineDecision(
+            datasize_gb=datasize_gb,
+            duration_s=reported,
+            retuned=False,
+            reason=f"challenger rejected: {why}",
+            config=state.config,
+            promotion={
+                "phase": "rejected",
+                "run_id": shadow.run_id,
+                "n_pairs": len(shadow.pairs),
+                "ab": None if test is None else test.to_json(),
+            },
+        )
+
+    # ------------------------------------------------------------------
     def observe(self, datasize_gb: float, duration_s: float | None = None) -> OnlineDecision:
         """Process one production run request.
 
@@ -323,19 +625,32 @@ class OnlineController:
             )
 
         state = self._state
+        if self._shadow is not None:
+            # A challenger is under evaluation: every production run
+            # contributes one CRN pair, and retune triggers stay muted
+            # until the gate reaches a verdict (re-tuning mid-shadow
+            # would race two candidates for one deployment slot).
+            return self._advance_shadow(datasize_gb, duration_s)
         if self.would_retune(datasize_gb):
             # Recomputed here only for the human-readable reason; the
             # decision rule itself lives in would_retune.
             nearest = min(state.tuned_datasizes, key=lambda d: abs(d - datasize_gb))
             relative_gap = abs(datasize_gb - nearest) / nearest
             result = self.locat.tune(datasize_gb)
+            reason = (
+                f"datasize {datasize_gb:.0f}GB is {relative_gap:.0%} from "
+                f"nearest tuned size {nearest:.0f}GB"
+            )
+            if self.promotion == "shadow_ab":
+                return self._gate_candidate(
+                    result, datasize_gb, duration_s, "datasize", reason
+                )
             self._deploy(result, datasize_gb)
             return OnlineDecision(
                 datasize_gb=datasize_gb,
                 duration_s=result.best_duration_s if duration_s is None else duration_s,
                 retuned=True,
-                reason=f"datasize {datasize_gb:.0f}GB is {relative_gap:.0%} from "
-                f"nearest tuned size {nearest:.0f}GB",
+                reason=reason,
                 config=result.best_config,
                 result=result,
                 trigger="datasize",
@@ -408,6 +723,10 @@ class OnlineController:
                         None if self.partial_retunes else self.locat.max_iterations
                     ),
                 )
+                if self.promotion == "shadow_ab":
+                    return self._gate_candidate(
+                        result, datasize_gb, duration_s, "drift", reason
+                    )
                 self._deploy(result, datasize_gb)
                 return OnlineDecision(
                     datasize_gb=datasize_gb,

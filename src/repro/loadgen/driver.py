@@ -98,6 +98,7 @@ def run_closed_loop(
     clients: int = 4,
     batch_size: int = 1,
     seed: int = 1,
+    clock=time.monotonic,
 ) -> list[RequestRecord]:
     """Drive back-to-back requests from ``clients`` threads.
 
@@ -105,12 +106,15 @@ def run_closed_loop(
     threads never interleave observes for the same tenant — the
     service's per-app job ordering would serialize them anyway, and the
     pinning keeps the measured concurrency honest.
+
+    ``clock`` is injectable (default ``time.monotonic``) so tests can
+    drive the run deadline from a controllable fake clock.
     """
     if not tenants:
         raise ValueError("no tenants to drive")
     clients = min(clients, len(tenants))
     records: list[list[RequestRecord]] = [[] for _ in range(clients)]
-    start = time.monotonic()
+    start = clock()
     deadline = start + duration_s
 
     def client_loop(index: int) -> None:
@@ -119,7 +123,7 @@ def run_closed_loop(
         client = TuningClient(base_url)
         try:
             while True:
-                now = time.monotonic()
+                now = clock()
                 if now >= deadline:
                     break
                 op = mix.sample(rng)
@@ -130,7 +134,7 @@ def run_closed_loop(
                         op=op,
                         tenant=plan.app_id,
                         scheduled_at=now - start,
-                        latency_s=time.monotonic() - now,
+                        latency_s=clock() - now,
                         outcome=outcome,
                         status=status,
                         n_observations=n_obs,
@@ -158,6 +162,8 @@ def run_open_loop(
     batch_size: int = 1,
     seed: int = 1,
     max_dispatchers: int = 32,
+    clock=time.monotonic,
+    sleep=time.sleep,
 ) -> list[RequestRecord]:
     """Drive Poisson arrivals at ``rate_rps`` regardless of completion.
 
@@ -166,6 +172,10 @@ def run_open_loop(
     until each scheduled instant, and issue the request.  Latency runs
     from the scheduled instant, so dispatcher lag and service queueing
     both count against the service.
+
+    ``clock``/``sleep`` are injectable (defaults ``time.monotonic`` /
+    ``time.sleep``) so tests can drive the dispatch schedule from a
+    controllable fake clock instead of asserting against wall time.
     """
     if not tenants:
         raise ValueError("no tenants to drive")
@@ -184,7 +194,7 @@ def run_open_loop(
     records: list[list[RequestRecord]] = [[] for _ in range(n_dispatchers)]
     cursor_lock = threading.Lock()
     cursor = 0
-    start = time.monotonic()
+    start = clock()
 
     def dispatcher(index: int) -> None:
         nonlocal cursor
@@ -198,10 +208,10 @@ def run_open_loop(
                     my_index = cursor
                     cursor += 1
                 scheduled_at, op, plan = schedule[my_index]
-                delay = start + scheduled_at - time.monotonic()
+                delay = start + scheduled_at - clock()
                 if delay > 0:
-                    time.sleep(delay)
-                issued = time.monotonic()
+                    sleep(delay)
+                issued = clock()
                 outcome, status, n_obs = _issue(client, plan, op, rng_local, batch_size)
                 records[index].append(
                     RequestRecord(
@@ -211,7 +221,7 @@ def run_open_loop(
                         # From the *scheduled* arrival: queueing in the
                         # dispatcher pool counts, coordinated omission
                         # does not happen.
-                        latency_s=(time.monotonic() - issued)
+                        latency_s=(clock() - issued)
                         + max(issued - (start + scheduled_at), 0.0),
                         outcome=outcome,
                         status=status,

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from repro.core.drift import DETECTOR_MODES
 from repro.core.locat import LOCAT
 from repro.core.online import OnlineController, OnlineDecision
+from repro.core.promotion import PROMOTION_MODES
 from repro.service.store import (
     SOURCE_PRODUCTION,
     SOURCE_TUNING,
@@ -64,7 +65,7 @@ TUNER_KEYS = frozenset(
 #: OnlineController keyword arguments a tenant may override.
 CONTROLLER_KEYS = frozenset(
     {"datasize_margin", "drift_factor", "drift_patience", "detector",
-     "partial_retunes"}
+     "partial_retunes", "promotion", "shadow_runs", "ab_alpha"}
 )
 
 #: How a new tenant's first bootstrap may be seeded.
@@ -170,6 +171,7 @@ class AppSession:
             "retunes": self.n_retunes,
             "tuned_datasizes": self.controller.tuned_datasizes,
             "drift": self.controller.drift_status(),
+            "promotion": self.controller.promotion_status(),
         }
 
 
@@ -185,6 +187,7 @@ class TuningRegistry:
         default_warm_start: str = "cold",
         default_detector: str = "ph",
         default_surrogate_backend: str = "exact",
+        default_promotion: str = "immediate",
     ):
         if default_eval_workers < 1:
             raise ValueError("default_eval_workers must be at least 1")
@@ -205,6 +208,11 @@ class TuningRegistry:
                 f"default_surrogate_backend must be one of {SURROGATE_BACKENDS}, "
                 f"got {default_surrogate_backend!r}"
             )
+        if default_promotion not in PROMOTION_MODES:
+            raise ValueError(
+                f"default_promotion must be one of {PROMOTION_MODES}, "
+                f"got {default_promotion!r}"
+            )
         self.store = store
         #: Warm-start mode for registrations that do not choose one.
         self.default_warm_start = default_warm_start
@@ -217,6 +225,10 @@ class TuningRegistry:
         #: changing the service default re-homes existing tenants on the
         #: next restart while explicit tenant choices stick.
         self.default_surrogate_backend = default_surrogate_backend
+        #: Candidate-promotion mode for tenants that do not set
+        #: ``controller.promotion`` themselves (service-level default,
+        #: same re-homing semantics as the surrogate backend).
+        self.default_promotion = default_promotion
         #: Evaluation parallelism given to sessions whose tenants did not
         #: set ``tuner.n_workers`` themselves (service-level default).
         self.default_eval_workers = int(default_eval_workers)
@@ -317,6 +329,28 @@ class TuningRegistry:
                 "controller.partial_retunes must be a boolean, "
                 f"got {controller['partial_retunes']!r}"
             )
+        if controller.get("promotion", PROMOTION_MODES[0]) not in PROMOTION_MODES:
+            raise ValueError(
+                f"controller.promotion must be one of {PROMOTION_MODES}, "
+                f"got {controller['promotion']!r}"
+            )
+        if "shadow_runs" in controller:
+            value = controller["shadow_runs"]
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ValueError(
+                    f"controller.shadow_runs must be a positive integer, got {value!r}"
+                )
+        if "ab_alpha" in controller:
+            value = controller["ab_alpha"]
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or not 0.0 < float(value) < 1.0
+            ):
+                raise ValueError(
+                    "controller.ab_alpha must be a number strictly between "
+                    f"0 and 1, got {value!r}"
+                )
         meta = {
             "benchmark": benchmark,
             "cluster": cluster,
@@ -382,6 +416,7 @@ class TuningRegistry:
         )
         controller_kwargs = dict(meta.get("controller", {}))
         controller_kwargs.setdefault("detector", self.default_detector)
+        controller_kwargs.setdefault("promotion", self.default_promotion)
         online = OnlineController(locat, **controller_kwargs)
         return AppSession(
             app_id=app_id,
@@ -450,6 +485,10 @@ class TuningRegistry:
             session.locat.restore_stale_boundary(
                 deployment.get("stale_tuning_rows", 0)
             )
+            # An in-flight shadow (and the promote/reject counters)
+            # resumes exactly where the previous process stopped — a
+            # challenger mid-evaluation must neither vanish nor deploy.
+            session.controller.restore_promotion(deployment.get("promotion"))
         return session
 
     # ------------------------------------------------------------------
@@ -576,21 +615,32 @@ class TuningRegistry:
                 "saved_at": now,
             }
             self.store.save_transfer(session.app_id, session.transfer_provenance)
+        # Terminal promote/reject decisions land in winners.json *before*
+        # the deployment snapshot drops the finished shadow: a crash
+        # between the two writes re-runs the shadow's last step on
+        # restart (at worst a duplicate record, distinguishable by
+        # decided_at), never a promoted config without its provenance.
+        events = session.controller.drain_promotion_events()
+        if events:
+            self.store.append_winners(session.app_id, events)
         if session.controller.is_deployed:
-            self.store.save_deployment(
-                session.app_id,
-                {
-                    "config": config_to_dict(session.controller.deployed_config),
-                    "tuned_datasizes": session.controller.tuned_datasizes,
-                    # Legacy field, kept so a store written here stays
-                    # readable by pre-detector service versions.
-                    "recent_ratios": session.controller.recent_ratios,
-                    "detector": session.controller.detector_name,
-                    "detector_state": session.controller.detector_state(),
-                    "log_offset": session.controller.log_offset,
-                    # The drift-quarantine boundary travels with the
-                    # calibration it was anchored against.
-                    "stale_tuning_rows": session.locat.stale_before,
-                    "updated_at": now,
-                },
-            )
+            state = {
+                "config": config_to_dict(session.controller.deployed_config),
+                "tuned_datasizes": session.controller.tuned_datasizes,
+                # Legacy field, kept so a store written here stays
+                # readable by pre-detector service versions.
+                "recent_ratios": session.controller.recent_ratios,
+                "detector": session.controller.detector_name,
+                "detector_state": session.controller.detector_state(),
+                "log_offset": session.controller.log_offset,
+                # The drift-quarantine boundary travels with the
+                # calibration it was anchored against.
+                "stale_tuning_rows": session.locat.stale_before,
+                "updated_at": now,
+            }
+            promotion = session.controller.promotion_state()
+            if promotion is not None:
+                # Absent for immediate-mode tenants with no promotion
+                # history, keeping historic deployed.json byte-stable.
+                state["promotion"] = promotion
+            self.store.save_deployment(session.app_id, state)

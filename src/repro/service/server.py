@@ -79,6 +79,8 @@ def decision_to_json(decision: OnlineDecision) -> dict:
             "overhead_hours": result.overhead_hours,
             "evaluations": result.evaluations,
         }
+    if decision.promotion is not None:
+        payload["promotion"] = decision.promotion
     return payload
 
 
@@ -103,6 +105,7 @@ class TuningService:
         default_warm_start: str = "cold",
         default_detector: str = "ph",
         default_surrogate_backend: str = "exact",
+        default_promotion: str = "immediate",
         max_pending: int | None = None,
         log_requests: bool = False,
         admin: bool = False,
@@ -122,7 +125,10 @@ class TuningService:
         "ratio"); ``default_surrogate_backend`` is the surrogate GP
         backend for tenants that do not set
         ``tuner.surrogate_backend`` ("exact", "windowed", "sparse", or
-        "auto" — see :mod:`repro.surrogate.policy`).
+        "auto" — see :mod:`repro.surrogate.policy`);
+        ``default_promotion`` decides what happens to a retune's winner
+        for tenants that do not set ``controller.promotion``
+        ("immediate" or "shadow_ab" — see :mod:`repro.core.promotion`).
 
         ``max_pending`` bounds the scheduler's queued backlog: beyond it
         submissions answer 429 with a ``Retry-After`` hint instead of
@@ -146,6 +152,7 @@ class TuningService:
             default_warm_start=default_warm_start,
             default_detector=default_detector,
             default_surrogate_backend=default_surrogate_backend,
+            default_promotion=default_promotion,
         )
         self.scheduler = JobScheduler(
             n_workers=n_workers,

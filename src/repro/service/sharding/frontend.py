@@ -62,6 +62,7 @@ class ShardedTuningService:
         default_warm_start: str = "cold",
         default_detector: str = "ph",
         default_surrogate_backend: str = "exact",
+        default_promotion: str = "immediate",
         max_pending: int | None = None,
         log_requests: bool = False,
         service_factory=None,
@@ -90,6 +91,7 @@ class ShardedTuningService:
                     default_warm_start=default_warm_start,
                     default_detector=default_detector,
                     default_surrogate_backend=default_surrogate_backend,
+                    default_promotion=default_promotion,
                     max_pending=max_pending,
                     log_requests=log_requests,
                     # Single-worker mode keeps legacy job ids so the

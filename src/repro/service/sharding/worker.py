@@ -47,6 +47,7 @@ class WorkerSpec:
     default_warm_start: str = "cold"
     default_detector: str = "ph"
     default_surrogate_backend: str = "exact"
+    default_promotion: str = "immediate"
     max_pending: int | None = None
     log_requests: bool = False
     #: Job-id namespace, e.g. ``"w2-"`` — empty for single-worker mode
@@ -71,6 +72,7 @@ def default_service(spec: WorkerSpec) -> TuningService:
         default_warm_start=spec.default_warm_start,
         default_detector=spec.default_detector,
         default_surrogate_backend=spec.default_surrogate_backend,
+        default_promotion=spec.default_promotion,
         max_pending=spec.max_pending,
         log_requests=spec.log_requests,
         admin=True,

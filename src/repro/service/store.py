@@ -20,6 +20,10 @@ One directory per registered application:
                                     (donor, similarity, agreement,
                                     outcome), written once after a
                                     transfer bootstrap resolves
+    <root>/<app_id>/winners.json    shadow A/B promotion provenance:
+                                    one record per promote/reject
+                                    decision (both configs, paired
+                                    deltas with CIs, decision reason)
 
 The run table is the durable substrate everything else rebuilds from —
 the CPE/KPCA manifold and the DAGP are deliberately *not* persisted,
@@ -275,7 +279,18 @@ class HistoryStore:
         path = self.app_dir(app_id) / "runs.jsonl"
         if not path.exists():
             return []
-        text = path.read_text()
+        try:
+            text = path.read_text()
+        except UnicodeDecodeError as exc:
+            # Disk damage can hit arbitrary bytes; a run table that no
+            # longer decodes is the same animal as an unparsable line
+            # and must surface as data corruption, not a stray
+            # UnicodeDecodeError from deep inside the replay.
+            raise CorruptRunTableError(
+                f"corrupt run table for application {app_id!r}: {path} "
+                f"is not valid UTF-8 ({exc}); restore the file from "
+                f"backup or delete the damaged bytes explicitly"
+            ) from exc
         lines = text.splitlines()
         if lines and not text.endswith("\n"):
             lines = lines[:-1]  # torn tail: never durable
@@ -363,6 +378,39 @@ class HistoryStore:
         if not path.exists():
             return None
         return json.loads(path.read_text())
+
+    # ------------------------------------------------------------------
+    # Promotion provenance (winners.json, next to deployed.json)
+    # ------------------------------------------------------------------
+    def append_winners(self, app_id: str, records: list[dict]) -> None:
+        """Append promote/reject provenance records to ``winners.json``.
+
+        Each record is stamped with ``decided_at`` unless the caller
+        already set one; the whole document is rewritten atomically, so
+        a crash leaves either the old or the new history, never a torn
+        one.  Decisions are rare (one per retune at most), so the
+        read-modify-write stays cheap.
+        """
+        if not records:
+            return
+        now = time.time()
+        path = self.app_dir(app_id) / "winners.json"
+        with self._lock:
+            payload = (
+                json.loads(path.read_text()) if path.exists() else {"winners": []}
+            )
+            for record in records:
+                stamped = dict(record)
+                stamped.setdefault("decided_at", now)
+                payload["winners"].append(stamped)
+            self._write_json(path, payload)
+
+    def load_winners(self, app_id: str) -> list[dict]:
+        """All promotion decisions in append order (empty pre-shadow)."""
+        path = self.app_dir(app_id) / "winners.json"
+        if not path.exists():
+            return []
+        return list(json.loads(path.read_text()).get("winners", []))
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -5,6 +5,7 @@ the coefficient of variation used by QCSA, the Spearman correlation used
 by CPS, and seeded sampling helpers used across the library.
 """
 
+from repro.stats.abtest import ABTestResult, compare_paired, paired_bootstrap
 from repro.stats.correlation import pearson, spearman, rankdata
 from repro.stats.descriptive import (
     coefficient_of_variation,
@@ -15,8 +16,11 @@ from repro.stats.descriptive import (
 from repro.stats.sampling import ensure_rng
 
 __all__ = [
+    "ABTestResult",
     "coefficient_of_variation",
+    "compare_paired",
     "ensure_rng",
+    "paired_bootstrap",
     "mean",
     "pearson",
     "rankdata",

@@ -1,0 +1,160 @@
+"""Paired bootstrap comparison for shadow A/B evaluation.
+
+The promotion gate (:mod:`repro.core.promotion`) measures the deployed
+configuration and a retune's challenger on the *same* production slice
+under common random numbers, so each pair shares its environment draw
+and the per-pair delta cancels the noise both arms have in common
+(the SimCash bootstrap-vs-Monte-Carlo correction, SNIPPETS.md section 2).
+This module supplies the statistical footing: resample the pairs with
+replacement, take the percentile interval of the resampled mean delta,
+and call the comparison significant only when that interval excludes
+zero.  No distributional assumptions, exact determinism from the seed.
+
+Deltas live in log-duration space (``log(baseline) - log(challenger)``),
+so a positive mean reads "the challenger is faster" and the magnitude is
+a relative speedup independent of datasize scale.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Below this many pairs a bootstrap interval degenerates (resampling
+#: two points cannot express tail risk), so the comparison is never
+#: declared significant — the gate keeps extending the shadow instead.
+MIN_PAIRS_FOR_SIGNIFICANCE = 3
+
+#: Bootstrap resamples.  2000 keeps the percentile endpoints stable to
+#: well under the effect sizes the gate cares about, at microseconds of
+#: vectorized cost.
+DEFAULT_N_BOOT = 2000
+
+
+@dataclass(frozen=True)
+class ABTestResult:
+    """Outcome of one paired bootstrap comparison.
+
+    ``mean_delta`` and the confidence bounds are mean log-duration
+    deltas, baseline minus challenger: positive means the challenger is
+    faster.  ``winner`` is ``"challenger"`` or ``"baseline"`` when the
+    interval excludes zero (and enough pairs exist), else ``"none"``.
+    """
+
+    n_pairs: int
+    mean_delta: float
+    ci_low: float
+    ci_high: float
+    alpha: float
+    n_boot: int
+    #: Fraction of bootstrap resamples in which the challenger wins on
+    #: average — a posterior-flavoured summary, not the decision rule.
+    p_challenger_better: float
+    significant: bool
+    winner: str
+
+    @property
+    def mean_speedup(self) -> float:
+        """``exp(mean_delta)``: >1 means the challenger is faster."""
+        return float(math.exp(self.mean_delta))
+
+    def to_json(self) -> dict:
+        return {
+            "n_pairs": self.n_pairs,
+            "mean_delta_log": self.mean_delta,
+            "mean_speedup": self.mean_speedup,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "alpha": self.alpha,
+            "n_boot": self.n_boot,
+            "p_challenger_better": self.p_challenger_better,
+            "significant": self.significant,
+            "winner": self.winner,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ABTestResult":
+        return cls(
+            n_pairs=int(payload["n_pairs"]),
+            mean_delta=float(payload["mean_delta_log"]),
+            ci_low=float(payload["ci_low"]),
+            ci_high=float(payload["ci_high"]),
+            alpha=float(payload["alpha"]),
+            n_boot=int(payload["n_boot"]),
+            p_challenger_better=float(payload["p_challenger_better"]),
+            significant=bool(payload["significant"]),
+            winner=str(payload["winner"]),
+        )
+
+
+def paired_bootstrap(
+    deltas: Sequence[float] | np.ndarray,
+    alpha: float = 0.05,
+    n_boot: int = DEFAULT_N_BOOT,
+    seed: int | Sequence[int] = 0,
+) -> ABTestResult:
+    """Percentile bootstrap over paired deltas (positive = challenger wins).
+
+    Resamples the pairs ``n_boot`` times with replacement and takes the
+    ``[alpha/2, 1-alpha/2]`` percentile interval of the resampled mean.
+    Deterministic for a given ``seed``.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must lie strictly between 0 and 1")
+    if n_boot < 1:
+        raise ValueError("n_boot must be positive")
+    arr = np.asarray(deltas, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("deltas must be a non-empty 1-d sequence")
+    n = int(arr.size)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, n, size=(int(n_boot), n))
+    boot_means = arr[idx].mean(axis=1)
+    ci_low = float(np.percentile(boot_means, 100.0 * (alpha / 2.0)))
+    ci_high = float(np.percentile(boot_means, 100.0 * (1.0 - alpha / 2.0)))
+    significant = n >= MIN_PAIRS_FOR_SIGNIFICANCE and (ci_low > 0.0 or ci_high < 0.0)
+    if not significant:
+        winner = "none"
+    elif ci_low > 0.0:
+        winner = "challenger"
+    else:
+        winner = "baseline"
+    return ABTestResult(
+        n_pairs=n,
+        mean_delta=float(arr.mean()),
+        ci_low=ci_low,
+        ci_high=ci_high,
+        alpha=float(alpha),
+        n_boot=int(n_boot),
+        p_challenger_better=float(np.mean(boot_means > 0.0)),
+        significant=significant,
+        winner=winner,
+    )
+
+
+def compare_paired(
+    baseline_s: Sequence[float],
+    challenger_s: Sequence[float],
+    alpha: float = 0.05,
+    n_boot: int = DEFAULT_N_BOOT,
+    seed: int | Sequence[int] = 0,
+) -> ABTestResult:
+    """Paired bootstrap over two equally long duration series.
+
+    The series must come from common-random-number measurements (pair
+    ``i`` of both arms shares one environment draw); the test is over
+    the per-pair log-duration deltas ``log(baseline) - log(challenger)``.
+    """
+    base = np.asarray(baseline_s, dtype=float)
+    chal = np.asarray(challenger_s, dtype=float)
+    if base.shape != chal.shape or base.ndim != 1:
+        raise ValueError("baseline and challenger series must be equal-length 1-d")
+    if base.size == 0:
+        raise ValueError("need at least one measurement pair")
+    if np.any(base <= 0.0) or np.any(chal <= 0.0):
+        raise ValueError("durations must be positive")
+    deltas = np.log(base) - np.log(chal)
+    return paired_bootstrap(deltas, alpha=alpha, n_boot=n_boot, seed=seed)

@@ -1,4 +1,9 @@
-"""Shared fixtures: simulators, applications, and sample configurations."""
+"""Shared fixtures: simulators, applications, and sample configurations.
+
+Timing helpers for concurrency tests (``wait_until``, ``FakeClock``)
+live in :mod:`timing_helpers` — a plain module so tests can import it
+without tripping over the benchmarks conftest on sys.path.
+"""
 
 import numpy as np
 import pytest

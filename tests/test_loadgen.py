@@ -3,8 +3,11 @@
 import csv
 import math
 import random
+import threading
 
 import pytest
+
+from timing_helpers import FakeClock, wait_until
 
 from repro.loadgen import (
     OBSERVE_HEAVY,
@@ -318,21 +321,48 @@ class TestDrivers:
         assert 10 <= len(first) <= 80
 
     def test_open_loop_latency_includes_dispatch_lag(self, live_service):
+        """Dispatch lag accounting, exactly — on a fake clock.
+
+        The driver runs against a :class:`FakeClock` in a background
+        thread; the single dispatcher blocks in ``sleep`` until the
+        test jumps the clock far past every scheduled arrival.  The
+        clock then stands still while the backlog drains, so each
+        record's latency must equal its lag ``JUMP - scheduled_at`` to
+        the float — no wall-time slack, no coordinated omission.
+        """
         service, plans = live_service
-        # One dispatcher for many arrivals: later requests queue behind
-        # earlier ones and the lag must show up as latency.
-        records = run_open_loop(
-            service.url,
-            plans,
-            OpMix.parse("observe=1"),
-            duration_s=0.8,
-            rate_rps=50.0,
-            seed=3,
-            max_dispatchers=1,
+        fake = FakeClock()
+        results: list = []
+        JUMP = 100.0
+
+        def drive() -> None:
+            results.extend(
+                run_open_loop(
+                    service.url,
+                    plans,
+                    OpMix.parse("status=1"),
+                    duration_s=1.0,
+                    rate_rps=20.0,
+                    seed=3,
+                    max_dispatchers=1,
+                    clock=fake.monotonic,
+                    sleep=fake.sleep,
+                )
+            )
+
+        thread = threading.Thread(target=drive, daemon=True)
+        thread.start()
+        wait_until(
+            lambda: fake.sleepers == 1,
+            message="dispatcher never blocked on the fake clock",
         )
-        assert records
-        assert all(r.latency_s >= 0 for r in records)
-        assert max(r.latency_s for r in records) > min(r.latency_s for r in records)
+        fake.advance(JUMP)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "open-loop driver did not finish"
+        assert results
+        assert all(r.outcome == "ok" for r in results)
+        for r in results:
+            assert r.latency_s == pytest.approx(JUMP - r.scheduled_at)
 
     def test_empty_tenants_rejected(self):
         with pytest.raises(ValueError, match="no tenants"):

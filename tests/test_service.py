@@ -5,6 +5,7 @@ import time
 
 import pytest
 
+from timing_helpers import wait_until
 from repro.core.iicp import CPSResult
 from repro.core.qcsa import QCSAResult
 from repro.service import (
@@ -292,8 +293,7 @@ class TestJobScheduler:
         # 4-slot budget together, so they must run one after the other.
         first = scheduler.submit("a", make("a"), slots=3)
         second = scheduler.submit("b", make("b"), slots=3)
-        time.sleep(0.1)
-        assert first.status == "running"
+        wait_until(lambda: first.status == "running")
         assert second.status == "queued"
         release.set()
         scheduler.wait(first.job_id, timeout=10.0)
@@ -308,11 +308,15 @@ class TestJobScheduler:
         release = threading.Event()
 
         heavy_running = scheduler.submit("a", lambda: release.wait(5.0), slots=3)
-        time.sleep(0.1)
+        wait_until(lambda: heavy_running.status == "running")
         heavy_waiting = scheduler.submit("b", lambda: "b", slots=3)
         light = scheduler.submit("c", lambda: "c", slots=1)
-        time.sleep(0.1)
-        # 3+1 <= 4 would fit, but the older 3-slot job reserves the budget.
+        # 3+1 <= 4 would fit, but the older 3-slot job reserves the
+        # budget.  The small settle window is the chance for a *broken*
+        # scheduler to wrongly admit the light job; the positive
+        # conditions above are deadline-polled, so only a genuine
+        # starvation bug can move these asserts.
+        time.sleep(0.05)
         assert heavy_running.status == "running"
         assert heavy_waiting.status == "queued"
         assert light.status == "queued"
@@ -1011,8 +1015,9 @@ class TestBackpressure:
         gate = threading.Event()
         scheduler = JobScheduler(n_workers=1, max_pending=1)
         try:
-            scheduler.submit("a", gate.wait, kind="block")
-            time.sleep(0.05)  # let the worker pick it up
+            blocker = scheduler.submit("a", gate.wait, kind="block")
+            # A running job no longer counts against the pending bound.
+            wait_until(lambda: blocker.status == "running")
             scheduler.submit("a", lambda: None, kind="queued")
             with pytest.raises(SchedulerSaturatedError) as excinfo:
                 scheduler.submit("a", lambda: None, kind="rejected")
@@ -1031,8 +1036,8 @@ class TestBackpressure:
             client = TuningClient(service.url)
             client.register_app("app", "join", seed=7, tuner=TINY_TUNER)
             client.observe("app", 100.0)  # bootstrap while the pool is free
-            service.scheduler.submit("blocker", gate.wait, kind="block")
-            time.sleep(0.05)
+            blocker = service.scheduler.submit("blocker", gate.wait, kind="block")
+            wait_until(lambda: blocker.status == "running")
             queued = client.observe("app", 100.0, duration_s=50.0, wait=False)
             assert queued["status"] == "queued"
             with pytest.raises(ServiceError) as excinfo:

@@ -382,3 +382,173 @@ class TestKeepAliveClient:
                 assert server.connections == 2
         finally:
             server.close()
+
+
+class TestShardedBatchEquivalence:
+    """observe_batch through the sharded frontend is bit-identical to
+    the same observations sent one request at a time — including the
+    shadow-promotion phases a gated tenant threads through them."""
+
+    RUNS = [
+        (10.0, None),        # bootstrap tune
+        (10.0, 1.0e6),       # 2x over-factor runs -> drift alarm
+        (10.0, 1.0e6),       #   -> retune -> shadow opens
+        (10.0, 55.0),        # CRN shadow pairs until the gate rules
+        (10.0, 55.0),
+        (10.0, 55.0),
+    ]
+    CONTROLLER = {
+        "detector": "ratio",
+        "drift_factor": 1.3,
+        "drift_patience": 2,
+        "promotion": "shadow_ab",
+        "shadow_runs": 2,
+    }
+
+    def _register(self, client):
+        # seed=5 pinned: its drift retune yields a *different* winner,
+        # so the trajectory walks the full shadow lifecycle instead of
+        # reconfirming the incumbent.
+        client.register_app(
+            "gated", benchmark="join", seed=5, tuner=TINY_TUNER,
+            controller=self.CONTROLLER,
+        )
+
+    def test_batch_matches_sequential_observes(self, tmp_path):
+        seq = ShardedTuningService(str(tmp_path / "seq"), port=0, workers=2).start()
+        bat = ShardedTuningService(str(tmp_path / "bat"), port=0, workers=2).start()
+        try:
+            client_seq = TuningClient(seq.url)
+            client_bat = TuningClient(bat.url)
+            self._register(client_seq)
+            self._register(client_bat)
+            sequential = [
+                client_seq.observe("gated", ds, duration_s=dur)["decision"]
+                for ds, dur in self.RUNS
+            ]
+            job = client_bat.observe_batch(
+                "gated",
+                [
+                    {"datasize_gb": ds, **({"duration_s": dur} if dur is not None else {})}
+                    for ds, dur in self.RUNS
+                ],
+            )
+            assert job["status"] == "done"
+            assert job["decisions"] == sequential
+            # The trajectory must actually exercise the gate, or the
+            # equivalence is vacuous for the promotion path.
+            phases = [
+                d.get("promotion", {}).get("phase")
+                for d in sequential
+                if d.get("promotion")
+            ]
+            assert "shadow_started" in phases
+            assert {"promoted", "rejected"} & set(phases)
+        finally:
+            seq.close()
+            bat.close()
+
+
+class TestShardedBackpressure:
+    """max_pending saturation inside a worker surfaces through the
+    proxy as 429 + Retry-After, byte-for-byte like the plain service."""
+
+    def test_429_retry_after_through_frontend(self, tmp_path):
+        from timing_helpers import wait_until
+        from repro.service.server import TuningService as _TS
+
+        gate = str(tmp_path / "gate.lock")
+
+        class GatedStore(HistoryStore):
+            """Appends spin while the gate file exists (parent-controlled
+            across the fork boundary)."""
+
+            def append_many(self, app_id, records):
+                import os as _os
+                import time as _time
+                while _os.path.exists(gate):
+                    _time.sleep(0.01)
+                super().append_many(app_id, records)
+
+        def factory(spec):
+            return _TS(
+                spec.store_dir, host="127.0.0.1", port=0,
+                n_workers=1, eval_workers=1, max_pending=1, admin=True,
+                job_id_prefix=spec.job_id_prefix, store_factory=GatedStore,
+            )
+
+        service = ShardedTuningService(
+            str(tmp_path / "store"), port=0, workers=1, service_factory=factory
+        ).start()
+        try:
+            client = TuningClient(service.url)
+            client.register_app("app", benchmark="join", seed=7, tuner=TINY_TUNER)
+            client.observe("app", 100.0)  # bootstrap while the pool is free
+            open(gate, "w").close()
+            blocked = client.observe("app", 100.0, duration_s=50.0, wait=False)
+            # Once the gated job is *running* it no longer counts against
+            # the pending bound; the next submission fills the queue.
+            wait_until(
+                lambda: client.job(blocked["job_id"])["status"] == "running",
+                message="gated observe never started running",
+            )
+            queued = client.observe("app", 100.0, duration_s=51.0, wait=False)
+            assert queued["status"] == "queued"
+            with pytest.raises(ServiceError) as excinfo:
+                client.observe("app", 100.0, duration_s=52.0, wait=False)
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after >= 1.0
+            assert "retry" in excinfo.value.message
+        finally:
+            import os as _os
+            _os.remove(gate)
+            service.close()
+
+    def test_batch_past_pending_bound_gets_429(self, tmp_path):
+        """A saturated worker rejects observe_batch the same way."""
+        from timing_helpers import wait_until
+        from repro.service.server import TuningService as _TS
+
+        gate = str(tmp_path / "gate.lock")
+
+        class GatedStore(HistoryStore):
+            def append_many(self, app_id, records):
+                import os as _os
+                import time as _time
+                while _os.path.exists(gate):
+                    _time.sleep(0.01)
+                super().append_many(app_id, records)
+
+        def factory(spec):
+            return _TS(
+                spec.store_dir, host="127.0.0.1", port=0,
+                n_workers=1, eval_workers=1, max_pending=1, admin=True,
+                job_id_prefix=spec.job_id_prefix, store_factory=GatedStore,
+            )
+
+        service = ShardedTuningService(
+            str(tmp_path / "store"), port=0, workers=1, service_factory=factory
+        ).start()
+        try:
+            client = TuningClient(service.url)
+            client.register_app("app", benchmark="join", seed=7, tuner=TINY_TUNER)
+            client.observe("app", 100.0)
+            open(gate, "w").close()
+            blocked = client.observe("app", 100.0, duration_s=50.0, wait=False)
+            wait_until(
+                lambda: client.job(blocked["job_id"])["status"] == "running",
+                message="gated observe never started running",
+            )
+            queued = client.observe("app", 100.0, duration_s=51.0, wait=False)
+            assert queued["status"] == "queued"
+            with pytest.raises(ServiceError) as excinfo:
+                client.observe_batch(
+                    "app", [{"datasize_gb": 100.0, "duration_s": 52.0}]
+                )
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+        finally:
+            import os as _os
+            _os.remove(gate)
+            service.close()

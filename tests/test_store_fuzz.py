@@ -1,0 +1,174 @@
+"""Seeded fuzzing of :class:`HistoryStore` run-table durability.
+
+The replay contract under damage (see ``HistoryStore.observations``):
+
+* a **truncated** file — any prefix of a valid run table — replays
+  cleanly to exactly the complete newline-terminated lines it still
+  holds (the torn tail was never durable);
+* any other single-byte damage either leaves a table that replays to
+  every undamaged record, or raises :class:`CorruptRunTableError` —
+  the store must never *silently* shorten history.
+
+Every fuzz case derives from an explicit seed, so a failure message
+names the exact (seed, position) pair to replay under a debugger.
+"""
+
+import numpy as np
+import pytest
+
+from repro.service import CorruptRunTableError, HistoryStore, ObservationRecord
+from repro.service.store import SOURCE_TUNING
+from repro.sparksim.serialize import config_to_dict
+
+N_RECORDS = 10
+
+N_TRUNCATIONS = 60
+N_FLIPS = 120
+
+
+def build_table(tmp_path, space):
+    """A valid run table whose records are pairwise one-flip-distinct.
+
+    Record equality ignores timestamps, so the durations are repdigits
+    (111.5, 222.5, ...): no single byte flip can turn one record into
+    another, which keeps the "undamaged records survive" assertion
+    honest.
+    """
+    store = HistoryStore(tmp_path)
+    store.register_app("fuzz", {})
+    config = config_to_dict(space.default())
+    records = [
+        ObservationRecord(
+            config, 100.0, float(f"{d}{d}{d}.5"), SOURCE_TUNING,
+            timestamp=float(d),
+        )
+        for d in range(1, N_RECORDS + 1)
+    ]
+    store.append_many("fuzz", records)
+    return store, records, tmp_path / "fuzz" / "runs.jsonl"
+
+
+def line_spans(data: bytes) -> list[tuple[int, int]]:
+    """Byte span of each line, trailing newline included."""
+    spans, start = [], 0
+    while start < len(data):
+        end = data.find(b"\n", start)
+        end = len(data) if end < 0 else end + 1
+        spans.append((start, end))
+        start = end
+    return spans
+
+
+class TestRunTableFuzz:
+    def test_random_truncation_replays_exactly_the_durable_prefix(
+        self, tmp_path, space_x86
+    ):
+        store, records, path = build_table(tmp_path, space_x86)
+        original = path.read_bytes()
+        for seed in range(N_TRUNCATIONS):
+            rng = np.random.default_rng((0xF022, seed))
+            cut = int(rng.integers(0, len(original) + 1))
+            path.write_bytes(original[:cut])
+            durable = original[:cut].count(b"\n")
+            rows = store.observations("fuzz")
+            assert rows == records[:durable], (
+                f"seed {seed}: cut at byte {cut} ({durable} durable lines) "
+                f"replayed {len(rows)} records"
+            )
+
+    def test_append_after_random_truncation_repairs_the_tail(
+        self, tmp_path, space_x86
+    ):
+        """The next append must trim the torn tail, never weld onto it."""
+        store, records, path = build_table(tmp_path, space_x86)
+        original = path.read_bytes()
+        extra = ObservationRecord(
+            records[0].config, 100.0, 999.5, SOURCE_TUNING, timestamp=99.0
+        )
+        for seed in range(12):
+            rng = np.random.default_rng((0xF023, seed))
+            cut = int(rng.integers(0, len(original) + 1))
+            path.write_bytes(original[:cut])
+            durable = original[:cut].count(b"\n")
+            store.append("fuzz", extra)
+            rows = store.observations("fuzz")
+            assert rows == records[:durable] + [extra], (
+                f"seed {seed}: append after cut at byte {cut} "
+                f"replayed {len(rows)} records, expected {durable + 1}"
+            )
+
+    def test_random_byte_flip_replays_clean_or_raises(self, tmp_path, space_x86):
+        """One flipped byte: every undamaged record survives, in order,
+        or the replay raises ``CorruptRunTableError`` — and nothing in
+        between (no silent shortening, no bare UnicodeDecodeError)."""
+        store, records, path = build_table(tmp_path, space_x86)
+        original = path.read_bytes()
+        spans = line_spans(original)
+        outcomes = {"clean": 0, "corrupt": 0}
+        for seed in range(N_FLIPS):
+            rng = np.random.default_rng((0xF024, seed))
+            pos = int(rng.integers(0, len(original)))
+            new = int(rng.integers(0, 256))
+            if new == original[pos]:
+                new = (new + 1) % 256
+            damaged = bytearray(original)
+            damaged[pos] = new
+            path.write_bytes(bytes(damaged))
+            hit = next(i for i, (lo, hi) in enumerate(spans) if lo <= pos < hi)
+            undamaged = [r for i, r in enumerate(records) if i != hit]
+            try:
+                rows = store.observations("fuzz")
+            except CorruptRunTableError:
+                outcomes["corrupt"] += 1
+                continue
+            outcomes["clean"] += 1
+            survivors = [r for r in rows if r in undamaged]
+            assert survivors == undamaged, (
+                f"seed {seed}: flip byte {pos} in line {hit} to {new:#04x} "
+                f"silently dropped undamaged records "
+                f"({len(survivors)}/{len(undamaged)} survived)"
+            )
+        # The fuzzer must actually exercise both contract branches.
+        assert outcomes["clean"] > 0 and outcomes["corrupt"] > 0, outcomes
+
+    def test_flip_then_append_never_poisons_later_records(
+        self, tmp_path, space_x86
+    ):
+        """Records appended after interior damage stay replayable the
+        moment the damaged line itself is repaired (restore-from-backup
+        semantics): the append must not compound the corruption."""
+        store, records, path = build_table(tmp_path, space_x86)
+        original = path.read_bytes()
+        spans = line_spans(original)
+        extra = ObservationRecord(
+            records[0].config, 100.0, 999.5, SOURCE_TUNING, timestamp=99.0
+        )
+        for seed in range(12):
+            rng = np.random.default_rng((0xF025, seed))
+            # Damage strictly inside an interior line's JSON (never the
+            # newline), so the table keeps its shape and the repair is
+            # "put the original line back".
+            hit = int(rng.integers(0, N_RECORDS - 1))
+            lo, hi = spans[hit]
+            pos = int(rng.integers(lo, hi - 1))
+            damaged = bytearray(original)
+            damaged[pos] = (damaged[pos] + 1) % 256
+            path.write_bytes(bytes(damaged))
+            store.append("fuzz", extra)
+            repaired = bytearray(path.read_bytes())
+            repaired[lo:hi] = original[lo:hi]
+            path.write_bytes(bytes(repaired))
+            rows = store.observations("fuzz")
+            assert rows == records + [extra], f"seed {seed}: flip at byte {pos}"
+
+
+class TestDecodeHardening:
+    def test_invalid_utf8_raises_corrupt_run_table_error(
+        self, tmp_path, space_x86
+    ):
+        store, records, path = build_table(tmp_path, space_x86)
+        data = bytearray(path.read_bytes())
+        data[5] = 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptRunTableError, match="not valid UTF-8"):
+            store.observations("fuzz")
