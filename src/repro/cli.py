@@ -25,6 +25,7 @@ import numpy as np
 from repro.core import LOCAT, SparkSQLObjective
 from repro.core.export import diff_configs, to_spark_defaults_conf
 from repro.core.promotion import PROMOTION_MODES, SHADOW_SEED_SALT
+from repro.replay import REPLAY_EVAL_MODES
 from repro.core.qcsa import QCSA, analyze_samples
 from repro.harness.report import format_table
 from repro.sparksim import SparkSQLSimulator, get_application, list_benchmarks
@@ -77,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
         "high-information coreset, O(W^2) per decision), 'sparse' (Nystrom "
         "inducing points, O(m^2) per decision), or 'auto' (pick by history "
         "size; see docs/architecture.md)",
+    )
+    tune.add_argument(
+        "--replay-eval", choices=REPLAY_EVAL_MODES, default="off",
+        help="trace-replay candidate evaluation: 'off' (default, bit-for-bit "
+        "the historic trajectory) or 'race' (capture a production trace and "
+        "score partial-retune candidates on common-random-number replays of "
+        "it, racing the field down to one live validation run; see "
+        "docs/replay.md)",
     )
     tune.add_argument(
         "--promotion", choices=PROMOTION_MODES, default="immediate",
@@ -184,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
         "winner at once, the default) or 'shadow_ab' (shadow-evaluate it "
         "under common random numbers and deploy only on a significant "
         "paired-bootstrap win; see docs/promotion.md)",
+    )
+    serve.add_argument(
+        "--replay-eval", default="off", choices=REPLAY_EVAL_MODES,
+        help="default trace-replay evaluation mode for tenants that do not "
+        "set tuner.replay_eval themselves: 'off' (default) or 'race' "
+        "(score partial-retune candidates on common-random-number replays "
+        "of the tenant's production trace; see docs/replay.md)",
     )
 
     loadgen = sub.add_parser(
@@ -317,6 +333,7 @@ def cmd_tune(args) -> int:
         n_workers=args.workers, transfer_from=plan,
         surrogate_mode=args.surrogate,
         surrogate_backend=args.surrogate_backend,
+        replay_eval=args.replay_eval,
     )
     result = locat.tune(args.datasize)
     if plan is not None:
@@ -474,6 +491,7 @@ def cmd_serve(args) -> int:
             default_detector=args.drift_detector,
             default_surrogate_backend=args.surrogate_backend,
             default_promotion=args.promotion,
+            default_replay_eval=args.replay_eval,
             max_pending=args.max_pending, log_requests=args.log_requests,
         )
         rehydrated = service.registry.app_ids()
@@ -488,6 +506,7 @@ def cmd_serve(args) -> int:
             default_detector=args.drift_detector,
             default_surrogate_backend=args.surrogate_backend,
             default_promotion=args.promotion,
+            default_replay_eval=args.replay_eval,
             max_pending=args.max_pending, log_requests=args.log_requests,
         )
         print(

@@ -55,9 +55,20 @@ from repro.core.parallel import EvalRequest, ParallelEvaluator
 from repro.core.qcsa import DEFAULT_N_QCSA, QCSAResult, analyze_samples
 from repro.core.result import TuningResult
 from repro.core.tuner import BOLoop, DEFAULT_EI_THRESHOLD, DEFAULT_MIN_ITERATIONS
+from repro.replay import (
+    DEFAULT_N_REPLAYS,
+    DEFAULT_TRACE_CAPACITY,
+    MIN_TRACE_STEPS,
+    REPLAY_EVAL_MODES,
+    ReplayEvaluator,
+    ReplayTrace,
+    TraceStep,
+    race,
+)
 from repro.sparksim.configspace import Configuration
 from repro.sparksim.engine import SparkSQLSimulator
 from repro.sparksim.query import Application
+from repro.sparksim.serialize import canonical_key
 from repro.stats.sampling import ensure_rng
 from repro.surrogate.policy import validate_backend
 from repro.transfer.donor import TransferPlan, cps_agreement
@@ -106,6 +117,9 @@ class LOCAT:
         surrogate_mode: str = "full",
         surrogate_backend: str = "exact",
         n_adapt_iterations: int | None = None,
+        replay_eval: str = "off",
+        replay_capacity: int = DEFAULT_TRACE_CAPACITY,
+        n_replays: int = DEFAULT_N_REPLAYS,
         rng: int | np.random.Generator | None = None,
     ):
         self.simulator = simulator
@@ -149,6 +163,21 @@ class LOCAT:
         self._n_adapt_iterations = (
             None if n_adapt_iterations is None else int(n_adapt_iterations)
         )
+        if replay_eval not in REPLAY_EVAL_MODES:
+            raise ValueError(
+                f"replay_eval must be one of {REPLAY_EVAL_MODES}, got {replay_eval!r}"
+            )
+        #: Replay-based candidate evaluation for partial (drift) retunes:
+        #: "off" is bit-for-bit the historic behaviour; "race" scores BO
+        #: candidates on CRN replays of the recorded trace and races the
+        #: finalists, so only the survivor is measured live.
+        self.replay_eval = replay_eval
+        if int(n_replays) < 1:
+            raise ValueError("n_replays must be at least 1")
+        self.n_replays = int(n_replays)
+        #: Recorded production history replays are resampled from.
+        self.replay_trace = ReplayTrace(capacity=int(replay_capacity))
+        self._replay_sessions = 0
         #: Cached point-estimate DAGP over the observation history, used
         #: by :meth:`predict_log_duration` (the online drift path).
         self._predictor: DatasizeAwareGP | None = None
@@ -514,6 +543,69 @@ class LOCAT:
             self.iicp_result = _identity_iicp(self.objective.space, IICP())
 
     # ------------------------------------------------------------------
+    # Replay trace (the low-variance evaluation path)
+    # ------------------------------------------------------------------
+    def record_production_run(
+        self,
+        datasize_gb: float,
+        duration_s: float | None = None,
+        config: Configuration | None = None,
+        rng_key: tuple[int, ...] | None = None,
+        environment=None,
+    ) -> None:
+        """Record one production run into the replay trace.
+
+        A no-op with ``replay_eval="off"`` — the trace, its derived RNG
+        keys, and the persistence that follows must not exist on the
+        bit-for-bit default path.  Never consumes :attr:`rng`.
+        """
+        if self.replay_eval == "off":
+            return
+        self.replay_trace.record(
+            datasize_gb=normalize_datasize(datasize_gb),
+            duration_s=duration_s,
+            rng_key=rng_key,
+            config=config,
+            environment=environment,
+        )
+
+    def restore_replay_trace(self, steps: list[TraceStep]) -> None:
+        """Rehydrate the trace persisted by a previous process."""
+        self.replay_trace = ReplayTrace.from_steps(
+            steps, capacity=self.replay_trace.capacity
+        )
+
+    def replay_shadow_pairs(
+        self, incumbent: Configuration, challenger: Configuration,
+        max_pairs: int | None = None,
+    ) -> list[tuple[float, float, float]]:
+        """CRN shadow pairs replayed from recorded history.
+
+        Full-application runs of both arms on the newest trace steps,
+        each pinned to its step's recorded RNG key, returned as
+        ``(datasize_gb, incumbent_s, challenger_s)`` tuples.  Lets the
+        promotion gate reach a verdict before any production run lands.
+        Deliberately bypasses :attr:`objective` — replays are rescoring
+        of recorded history, not new samples — and returns ``[]`` when
+        replay evaluation is off or the trace is too short.
+        """
+        if self.replay_eval == "off" or self.replay_trace.n_steps < MIN_TRACE_STEPS:
+            return []
+        steps = self.replay_trace.steps
+        if max_pairs is not None:
+            steps = steps[-int(max_pairs):]
+        pairs = []
+        for step in steps:
+            inc = self.simulator.run(
+                self.app, incumbent, step.datasize_gb, rng=step.rng_key
+            ).duration_s
+            chal = self.simulator.run(
+                self.app, challenger, step.datasize_gb, rng=step.rng_key
+            ).duration_s
+            pairs.append((step.datasize_gb, float(inc), float(chal)))
+        return pairs
+
+    # ------------------------------------------------------------------
     # Online prediction (the drift path)
     # ------------------------------------------------------------------
     @property
@@ -637,7 +729,8 @@ class LOCAT:
         return min(self._observations, key=lambda o: o.rqa_duration_s)
 
     def _polish(
-        self, datasize_gb: float, csq: list[str], top_k: int = 12, since: int = 0
+        self, datasize_gb: float, csq: list[str], top_k: int = 12, since: int = 0,
+        evaluate=None,
     ) -> None:
         """Greedy coordinate polish of the incumbent, evaluated on the RQA.
 
@@ -649,6 +742,9 @@ class LOCAT:
         encoded step never crosses their 0.5 rounding boundary).
         ``since`` restricts the incumbent to observations recorded from
         that index on (partial sessions quarantine pre-drift rows).
+        ``evaluate`` overrides how a candidate is scored (``config ->
+        duration_s``, the replay path); the default is a live RQA run
+        through the objective, bit for bit the historic sweep.
         """
         assert self.iicp_result is not None
         space = self.objective.space
@@ -663,7 +759,12 @@ class LOCAT:
             return
         incumbent = min(at_ds, key=lambda o: o.rqa_duration_s)
         best_config = incumbent.config
-        best_duration = incumbent.rqa_duration_s
+        # The replay path re-scores the incumbent through the same
+        # evaluator, so the sweep compares replay means against a replay
+        # mean — never a live draw against an averaged one.
+        best_duration = (
+            incumbent.rqa_duration_s if evaluate is None else float(evaluate(best_config))
+        )
         encoded = space.encode(best_config)
         booleans = set(space.boolean_names())
         # Adaptation sessions (top_k=0: resource parameters only) get a
@@ -674,12 +775,15 @@ class LOCAT:
             nonlocal best_config, best_duration, encoded, budget
             if candidate == best_config or budget <= 0:
                 return False
-            trial = self.objective.run_subset(candidate, datasize_gb, csq)
+            if evaluate is None:
+                duration = self.objective.run_subset(candidate, datasize_gb, csq).duration_s
+            else:
+                duration = float(evaluate(candidate))
             budget -= 1
-            self._observations.append(_Observation(candidate, datasize_gb, trial.duration_s))
-            if trial.duration_s < best_duration:
+            self._observations.append(_Observation(candidate, datasize_gb, duration))
+            if duration < best_duration:
                 best_config = candidate
-                best_duration = trial.duration_s
+                best_duration = duration
                 encoded = space.encode(best_config)
                 return True
             return False
@@ -822,6 +926,27 @@ class LOCAT:
         self.bootstrap(datasize_gb)
         assert self.iicp_result is not None
         csq = self.csq
+        # Replay-based low-variance evaluation engages only for partial
+        # (drift) sessions with enough recorded history: BO candidates,
+        # the polish sweep, and the final selection are scored on CRN
+        # replays of the trace — shared environment draws, so candidate
+        # deltas cancel the common noise — and the session's live cost
+        # shrinks to the incumbent anchor plus one validation run.
+        replay = None
+        race_outcome = None
+        if (
+            partial
+            and self.replay_eval == "race"
+            and self.replay_trace.n_steps >= MIN_TRACE_STEPS
+        ):
+            self._replay_sessions += 1
+            replay = ReplayEvaluator(
+                self.simulator,
+                self.app,
+                self.replay_trace,
+                n_replays=self.n_replays,
+                seed=self._replay_sessions,
+            )
         # A partial (drift) session quarantines everything measured
         # before it: the environment shifted, so historical durations
         # are systematically off by an unknown factor.  Pre-session
@@ -911,26 +1036,40 @@ class LOCAT:
             iicp = self.iicp_result
             chunk = min(self.refit_interval, session_max - iterations_done)
 
-            def evaluate(latent: np.ndarray, ds: float) -> float:
-                config = iicp.decode(latent)
-                trial = self.evaluator.run_subset(config, ds, csq)
-                self._observations.append(
-                    _Observation(config=config, datasize_gb=ds, rqa_duration_s=trial.duration_s)
-                )
-                return trial.duration_s
-
-            def evaluate_batch(latents: np.ndarray, ds: float) -> np.ndarray:
-                configs = iicp.decode_batch(np.atleast_2d(latents))
-                trials = self.evaluator.run_batch(
-                    [EvalRequest(config, ds, tuple(csq)) for config in configs]
-                )
-                for config, trial in zip(configs, trials):
+            if replay is not None:
+                # Replay scoring: the candidate's mean RQA duration over
+                # the fixed replay slots, straight from the simulator —
+                # no objective recording, no live evaluation charged.
+                def evaluate(latent: np.ndarray, ds: float) -> float:
+                    config = iicp.decode(latent)
+                    duration = replay.mean_duration(config, queries=csq, datasize_gb=ds)
                     self._observations.append(
-                        _Observation(
-                            config=config, datasize_gb=ds, rqa_duration_s=trial.duration_s
-                        )
+                        _Observation(config=config, datasize_gb=ds, rqa_duration_s=duration)
                     )
-                return np.array([t.duration_s for t in trials])
+                    return duration
+
+                evaluate_batch = None
+            else:
+                def evaluate(latent: np.ndarray, ds: float) -> float:
+                    config = iicp.decode(latent)
+                    trial = self.evaluator.run_subset(config, ds, csq)
+                    self._observations.append(
+                        _Observation(config=config, datasize_gb=ds, rqa_duration_s=trial.duration_s)
+                    )
+                    return trial.duration_s
+
+                def evaluate_batch(latents: np.ndarray, ds: float) -> np.ndarray:
+                    configs = iicp.decode_batch(np.atleast_2d(latents))
+                    trials = self.evaluator.run_batch(
+                        [EvalRequest(config, ds, tuple(csq)) for config in configs]
+                    )
+                    for config, trial in zip(configs, trials):
+                        self._observations.append(
+                            _Observation(
+                                config=config, datasize_gb=ds, rqa_duration_s=trial.duration_s
+                            )
+                        )
+                    return np.array([t.duration_s for t in trials])
 
             if self.use_dagp:
                 warm_own = list(self._observations[quarantine:])
@@ -990,6 +1129,11 @@ class LOCAT:
             self._polish(
                 datasize_gb, csq, top_k=12 if fresh_session else 0,
                 since=quarantine,
+                evaluate=(
+                    None if replay is None else (
+                        lambda c: replay.mean_duration(c, queries=csq, datasize_gb=datasize_gb)
+                    )
+                ),
             )
 
         # Best configuration by RQA duration at this datasize, plus a
@@ -1008,14 +1152,44 @@ class LOCAT:
         reset_config = self._reset_unimportant_to_defaults(best_obs.config)
         if reset_config != best_obs.config:
             candidates.append(reset_config)
-        scored = []
-        for candidate in candidates:
-            trial = self.objective.run_subset(candidate, datasize_gb, csq)
-            self._observations.append(
-                _Observation(candidate, datasize_gb, trial.duration_s)
+        if replay is not None:
+            # Racing final selection: widen the field to the session's
+            # next-best distinct configurations, then race everyone on
+            # the shared replay slots — successive halving eliminates
+            # candidates whose paired CI against the running best
+            # excludes zero, and only the survivor is measured live.
+            seen = {canonical_key(c) for c in candidates}
+            for obs in sorted(at_ds, key=lambda o: o.rqa_duration_s):
+                key = canonical_key(obs.config)
+                if key not in seen:
+                    seen.add(key)
+                    candidates.append(obs.config)
+                if len(candidates) >= 6:
+                    break
+            race_outcome = race(
+                replay,
+                candidates,
+                queries=csq,
+                datasize_gb=datasize_gb,
+                seed=self._replay_sessions,
             )
-            scored.append((trial.duration_s, candidate))
-        best_config = min(scored, key=lambda s: s[0])[1]
+            best_config = candidates[race_outcome.winner]
+            self._observations.append(
+                _Observation(
+                    best_config,
+                    datasize_gb,
+                    replay.mean_duration(best_config, queries=csq, datasize_gb=datasize_gb),
+                )
+            )
+        else:
+            scored = []
+            for candidate in candidates:
+                trial = self.objective.run_subset(candidate, datasize_gb, csq)
+                self._observations.append(
+                    _Observation(candidate, datasize_gb, trial.duration_s)
+                )
+                scored.append((trial.duration_s, candidate))
+            best_config = min(scored, key=lambda s: s[0])[1]
         validation = self.objective.run(best_config, datasize_gb)
         best_duration = validation.duration_s
         # Only post-drift full-application runs may re-anchor the
@@ -1035,6 +1209,27 @@ class LOCAT:
             best_config = incumbent_trial.config
             best_duration = incumbent_trial.duration_s
 
+        details = {
+            "qcsa": self.qcsa_result,
+            "iicp_selected": list(self.iicp_result.selected),
+            "n_latent_dims": self.iicp_result.n_components,
+            "stopped_by_ei": stopped_by_ei,
+            "partial": partial,
+            "csq": list(csq),
+            "transfer": self.transfer_state,
+            "transfer_donor": (
+                self.transfer_from.donor_app_id if self.transfer_from else None
+            ),
+        }
+        # Only replay-enabled tuners grow the details schema: the "off"
+        # default must leave every existing result bit for bit.
+        if self.replay_eval != "off":
+            details["replay"] = {
+                "enabled": replay is not None,
+                "n_trace_steps": self.replay_trace.n_steps,
+                **(replay.stats() if replay is not None else {}),
+                "race": None if race_outcome is None else race_outcome.to_json(),
+            }
         return TuningResult(
             tuner=self.NAME,
             application=self.app.name,
@@ -1043,18 +1238,7 @@ class LOCAT:
             best_duration_s=best_duration,
             overhead_s=self.objective.overhead_s - overhead_before,
             evaluations=self.objective.n_evaluations - evals_before,
-            details={
-                "qcsa": self.qcsa_result,
-                "iicp_selected": list(self.iicp_result.selected),
-                "n_latent_dims": self.iicp_result.n_components,
-                "stopped_by_ei": stopped_by_ei,
-                "partial": partial,
-                "csq": list(csq),
-                "transfer": self.transfer_state,
-                "transfer_donor": (
-                    self.transfer_from.donor_app_id if self.transfer_from else None
-                ),
-            },
+            details=details,
         )
 
 

@@ -144,6 +144,12 @@ class OnlineController:
     gate; ``shadow_measure`` overrides how a shadow arm is measured
     (``(config, datasize_gb, rng) -> duration_s``, defaulting to the
     tuner's own simulator).
+    ``capture_replay_trace`` — record every measured production run into
+    the tuner's :class:`~repro.replay.trace.ReplayTrace`; ``None``
+    (default) follows the tuner's ``replay_eval`` setting.  With replay
+    evaluation on, a new shadow is also *prefilled* with CRN pairs
+    replayed from the trace, so the gate can reach its verdict before
+    any production run lands.
     """
 
     def __init__(
@@ -160,6 +166,7 @@ class OnlineController:
         max_shadow_runs: int | None = None,
         shadow_measure: Callable[[Configuration, float, np.random.Generator], float]
         | None = None,
+        capture_replay_trace: bool | None = None,
     ):
         if datasize_margin <= 0:
             raise ValueError("datasize_margin must be positive")
@@ -183,6 +190,13 @@ class OnlineController:
             min_runs=shadow_runs, alpha=ab_alpha, max_runs=max_shadow_runs
         )
         self._shadow_measure = shadow_measure or self._default_shadow_measure
+        # getattr: tests drive the controller with stub tuners that
+        # predate the replay attributes.
+        self.capture_replay_trace = (
+            getattr(locat, "replay_eval", "off") != "off"
+            if capture_replay_trace is None
+            else bool(capture_replay_trace)
+        )
         self._shadow: ShadowState | None = None
         self._shadow_counter = 0
         self._promoted = 0
@@ -471,6 +485,33 @@ class OnlineController:
         # Drift state refers to the pre-retune model; start the shadow
         # with a clean window so a stale alarm cannot linger past it.
         self._detector.reset()
+        # Replay prefill: with replay evaluation on, CRN pairs replayed
+        # from recorded history seed the shadow immediately — a verdict
+        # reachable from the trace alone costs zero production delay.
+        replay_pairs = self.locat.replay_shadow_pairs(
+            state.config, result.best_config, max_pairs=self._gate.min_runs
+        ) if hasattr(self.locat, "replay_shadow_pairs") else []
+        for pair_ds, incumbent_s, challenger_s in replay_pairs:
+            self._shadow.pairs.append(
+                ShadowPair(
+                    datasize_gb=float(pair_ds),
+                    incumbent_s=float(incumbent_s),
+                    challenger_s=float(challenger_s),
+                )
+            )
+        if replay_pairs:
+            decision, test, why = self._gate.evaluate(self._shadow)
+            if decision != DECISION_EXTEND:
+                return self._resolve_shadow(
+                    self._shadow,
+                    decision,
+                    test,
+                    why,
+                    datasize_gb,
+                    result.best_duration_s if duration_s is None else duration_s,
+                    result=result,
+                    replay_pairs=len(replay_pairs),
+                )
         return OnlineDecision(
             datasize_gb=datasize_gb,
             duration_s=result.best_duration_s if duration_s is None else duration_s,
@@ -482,7 +523,7 @@ class OnlineController:
             promotion={
                 "phase": "shadow_started",
                 "run_id": self._shadow.run_id,
-                "n_pairs": 0,
+                "n_pairs": len(self._shadow.pairs),
                 "min_runs": self._gate.min_runs,
                 "max_runs": self._gate.max_runs,
             },
@@ -549,6 +590,27 @@ class OnlineController:
                     "max_runs": self._gate.max_runs,
                 },
             )
+        return self._resolve_shadow(shadow, decision, test, why, datasize_gb, reported)
+
+    def _resolve_shadow(
+        self,
+        shadow: ShadowState,
+        decision: str,
+        test,
+        why: str,
+        datasize_gb: float,
+        reported: float,
+        result: TuningResult | None = None,
+        replay_pairs: int = 0,
+    ) -> OnlineDecision:
+        """Close a shadow on a terminal gate verdict (promote/reject).
+
+        Shared by the production path (:meth:`_advance_shadow`) and the
+        replay-prefill path (:meth:`_gate_candidate`), which passes the
+        retune ``result`` and how many pairs came from replays.
+        """
+        state = self._state
+        assert state is not None
         record = winner_record(shadow, decision, test, why)
         self.promotion_events.append(record)
         self._last_promotion = {
@@ -559,6 +621,7 @@ class OnlineController:
             "ab": None if test is None else test.to_json(),
         }
         self._shadow = None
+        extra = {"replay_pairs": replay_pairs} if replay_pairs else {}
         if decision == DECISION_PROMOTE:
             self._promoted += 1
             self._promote(shadow)
@@ -568,12 +631,14 @@ class OnlineController:
                 retuned=True,
                 reason=f"challenger promoted: {why}",
                 config=state.config,
+                result=result,
                 trigger=shadow.trigger,
                 promotion={
                     "phase": "promoted",
                     "run_id": shadow.run_id,
                     "n_pairs": len(shadow.pairs),
                     "ab": None if test is None else test.to_json(),
+                    **extra,
                 },
             )
         self._rejected += 1
@@ -583,14 +648,17 @@ class OnlineController:
         return OnlineDecision(
             datasize_gb=datasize_gb,
             duration_s=reported,
-            retuned=False,
+            retuned=result is not None,
             reason=f"challenger rejected: {why}",
             config=state.config,
+            result=result,
+            trigger="none" if result is None else shadow.trigger,
             promotion={
                 "phase": "rejected",
                 "run_id": shadow.run_id,
                 "n_pairs": len(shadow.pairs),
                 "ab": None if test is None else test.to_json(),
+                **extra,
             },
         )
 
@@ -607,6 +675,18 @@ class OnlineController:
         # 100 vs 100.0 vs a JSON round-trip artifact must hit the same
         # tuned-datasize history, not fork a new one.
         datasize_gb = normalize_datasize(datasize_gb)
+
+        # Replay capture: the measured run of the deployed configuration
+        # becomes one trace step (a no-op with replay evaluation off).
+        if (
+            self.capture_replay_trace
+            and self._state is not None
+            and duration_s is not None
+            and hasattr(self.locat, "record_production_run")
+        ):
+            self.locat.record_production_run(
+                datasize_gb, duration_s, config=self._state.config
+            )
 
         if self._state is None:
             result = self.locat.tune(datasize_gb)

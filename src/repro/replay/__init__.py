@@ -1,0 +1,44 @@
+"""Replay-based low-variance candidate evaluation.
+
+Three pieces, wired through :meth:`LOCAT.adapt
+<repro.core.locat.LOCAT.adapt>`, the promotion gate, and the service:
+
+* :mod:`~repro.replay.trace` — per-tenant recorded history (query mix,
+  datasizes, environment state, exact per-step RNG seed keys), persisted
+  as ``trace.jsonl`` next to the run table;
+* :mod:`~repro.replay.evaluator` — score every candidate against the
+  *same* bootstrap-resampled replays of that trace under common random
+  numbers, with paired-bootstrap comparisons;
+* :mod:`~repro.replay.racing` — successive-halving elimination of
+  candidates whose paired CI against the running best excludes zero.
+
+``replay_eval="off"`` (the default everywhere) keeps every existing
+trajectory bit for bit.
+"""
+
+from repro.replay.evaluator import DEFAULT_N_REPLAYS, ReplayEvaluator
+from repro.replay.racing import DEFAULT_START_REPLAYS, RaceOutcome, race
+from repro.replay.trace import (
+    DEFAULT_TRACE_CAPACITY,
+    MIN_TRACE_STEPS,
+    REPLAY_EVAL_MODES,
+    REPLAY_SEED_SALT,
+    ReplayTrace,
+    TraceStep,
+    config_fingerprint,
+)
+
+__all__ = [
+    "DEFAULT_N_REPLAYS",
+    "DEFAULT_START_REPLAYS",
+    "DEFAULT_TRACE_CAPACITY",
+    "MIN_TRACE_STEPS",
+    "REPLAY_EVAL_MODES",
+    "REPLAY_SEED_SALT",
+    "RaceOutcome",
+    "ReplayEvaluator",
+    "ReplayTrace",
+    "TraceStep",
+    "config_fingerprint",
+    "race",
+]

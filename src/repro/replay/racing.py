@@ -1,0 +1,122 @@
+"""Successive-halving racing over CRN replays.
+
+Final candidate selection does not need every candidate measured on
+every replay: a candidate that is already significantly slower than the
+running best after a few paired replays will not recover on more of
+them.  The race evaluates all survivors on a growing prefix of the
+replay slots, and after each round eliminates every candidate whose
+paired bootstrap CI against the running best excludes zero in the
+best's favour (``ci_low > 0`` for ``log(candidate) - log(best)`` —
+"candidate significantly slower").  The prefix doubles each round until
+one survivor remains or all slots are spent.
+
+Because replays are memoized inside the evaluator, the race's cost is
+the simulator runs actually needed — early eliminations never pay for
+the full replay set — and because deltas are paired under common random
+numbers, a noise-free replay yields degenerate intervals ``[d, d]``:
+the true best's delta against the running best is never positive, so it
+can never be eliminated (pinned by test).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.replay.evaluator import ReplayEvaluator
+from repro.replay.trace import REPLAY_SEED_SALT
+from repro.stats.abtest import paired_bootstrap
+
+#: Replays every candidate pays before the first elimination check —
+#: also the bootstrap's significance floor (MIN_PAIRS_FOR_SIGNIFICANCE).
+DEFAULT_START_REPLAYS = 3
+
+
+@dataclass
+class RaceOutcome:
+    """What one race did: the survivor plus elimination provenance."""
+
+    #: Index (into the candidate list) of the surviving candidate.
+    winner: int
+    #: Replay prefix sizes the race went through, in order.
+    rounds: list[int] = field(default_factory=list)
+    #: candidate index -> replay prefix size at which it was eliminated.
+    eliminated: dict[int, int] = field(default_factory=dict)
+    #: Simulator runs the race's evaluator performed (memoized).
+    sim_runs: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "winner": self.winner,
+            "rounds": list(self.rounds),
+            "eliminated": {str(k): v for k, v in self.eliminated.items()},
+            "sim_runs": self.sim_runs,
+        }
+
+
+def race(
+    evaluator: ReplayEvaluator,
+    candidates: list,
+    queries: list[str] | tuple[str, ...] | None = None,
+    datasize_gb: float | None = None,
+    alpha: float = 0.05,
+    start_replays: int = DEFAULT_START_REPLAYS,
+    seed: int = 0,
+) -> RaceOutcome:
+    """Race ``candidates`` to a single survivor on the evaluator's replays.
+
+    Ties (no candidate significantly worse on the full replay set) break
+    toward the lowest mean replay duration; among exact duplicates the
+    earliest candidate wins, so callers can order the list by preference
+    (incumbent first).
+    """
+    if not candidates:
+        raise ValueError("race needs at least one candidate")
+    if start_replays < 1:
+        raise ValueError("start_replays must be at least 1")
+    sim_runs_before = evaluator.n_sim_runs
+    outcome = RaceOutcome(winner=0)
+    if len(candidates) == 1:
+        return outcome
+    n_slots = evaluator.n_replays
+    survivors = list(range(len(candidates)))
+    r = min(int(start_replays), n_slots)
+    while True:
+        outcome.rounds.append(r)
+        logs = {
+            i: [
+                math.log(max(d, 1e-12))
+                for d in evaluator.durations(
+                    candidates[i], queries=queries, datasize_gb=datasize_gb
+                )[:r]
+            ]
+            for i in survivors
+        }
+        best = min(survivors, key=lambda i: (sum(logs[i]) / r, i))
+        if r >= DEFAULT_START_REPLAYS and len(survivors) > 1:
+            still = []
+            for i in survivors:
+                if i == best:
+                    still.append(i)
+                    continue
+                deltas = [li - lb for li, lb in zip(logs[i], logs[best])]
+                test = paired_bootstrap(
+                    deltas, alpha=alpha, seed=(REPLAY_SEED_SALT, int(seed), r, i)
+                )
+                # Positive delta = candidate slower than the running
+                # best; a CI excluding zero from below means it cannot
+                # recover — drop it now rather than replay it further.
+                if test.n_pairs >= DEFAULT_START_REPLAYS and test.ci_low > 0.0:
+                    outcome.eliminated[i] = r
+                else:
+                    still.append(i)
+            survivors = still
+        if len(survivors) == 1 or r >= n_slots:
+            break
+        r = min(r * 2, n_slots)
+    outcome.winner = min(survivors, key=lambda i: (sum(logs[i]) / len(logs[i]), i))
+    outcome.sim_runs = evaluator.n_sim_runs - sim_runs_before
+    return outcome
+
+
+__all__ = ["DEFAULT_START_REPLAYS", "RaceOutcome", "race"]

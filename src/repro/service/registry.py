@@ -35,6 +35,7 @@ from repro.core.drift import DETECTOR_MODES
 from repro.core.locat import LOCAT
 from repro.core.online import OnlineController, OnlineDecision
 from repro.core.promotion import PROMOTION_MODES
+from repro.replay import REPLAY_EVAL_MODES
 from repro.service.store import (
     SOURCE_PRODUCTION,
     SOURCE_TUNING,
@@ -58,7 +59,8 @@ TUNER_KEYS = frozenset(
         "min_iterations", "max_iterations", "ei_threshold", "n_mcmc",
         "refit_interval", "use_qcsa", "use_iicp", "use_dagp", "use_polish",
         "n_workers", "n_transfer_bootstrap", "surrogate_mode",
-        "surrogate_backend", "n_adapt_iterations",
+        "surrogate_backend", "n_adapt_iterations", "replay_eval",
+        "replay_capacity", "n_replays",
     }
 )
 
@@ -101,6 +103,9 @@ class AppSession:
     lock: threading.RLock = field(default_factory=threading.RLock)
     #: Prefix of ``locat.observation_history`` already in the store.
     persisted_observations: int = 0
+    #: Replay-trace steps with ``index`` below this are already in the
+    #: store's ``trace.jsonl`` — only newer steps get appended.
+    persisted_trace_index: int = 0
     #: Whether this session was warm-started from the store.
     restored: bool = False
     n_observes: int = 0
@@ -172,6 +177,12 @@ class AppSession:
             "tuned_datasizes": self.controller.tuned_datasizes,
             "drift": self.controller.drift_status(),
             "promotion": self.controller.promotion_status(),
+            "replay": {
+                "mode": locat.replay_eval,
+                "trace_steps": locat.replay_trace.n_steps,
+                "trace_next_index": locat.replay_trace.next_index,
+                "persisted_trace_index": self.persisted_trace_index,
+            },
         }
 
 
@@ -188,6 +199,7 @@ class TuningRegistry:
         default_detector: str = "ph",
         default_surrogate_backend: str = "exact",
         default_promotion: str = "immediate",
+        default_replay_eval: str = "off",
     ):
         if default_eval_workers < 1:
             raise ValueError("default_eval_workers must be at least 1")
@@ -213,6 +225,11 @@ class TuningRegistry:
                 f"default_promotion must be one of {PROMOTION_MODES}, "
                 f"got {default_promotion!r}"
             )
+        if default_replay_eval not in REPLAY_EVAL_MODES:
+            raise ValueError(
+                f"default_replay_eval must be one of {REPLAY_EVAL_MODES}, "
+                f"got {default_replay_eval!r}"
+            )
         self.store = store
         #: Warm-start mode for registrations that do not choose one.
         self.default_warm_start = default_warm_start
@@ -229,6 +246,10 @@ class TuningRegistry:
         #: ``controller.promotion`` themselves (service-level default,
         #: same re-homing semantics as the surrogate backend).
         self.default_promotion = default_promotion
+        #: Replay-evaluation mode for tenants that do not set
+        #: ``tuner.replay_eval`` themselves (service-level default, same
+        #: re-homing semantics as the surrogate backend).
+        self.default_replay_eval = default_replay_eval
         #: Evaluation parallelism given to sessions whose tenants did not
         #: set ``tuner.n_workers`` themselves (service-level default).
         self.default_eval_workers = int(default_eval_workers)
@@ -291,7 +312,10 @@ class TuningRegistry:
         controller = dict(controller or {})
         if not TUNER_KEYS.issuperset(tuner):
             raise ValueError(f"unknown tuner settings: {sorted(set(tuner) - TUNER_KEYS)}")
-        for key in ("n_workers", "n_transfer_bootstrap", "n_adapt_iterations"):
+        for key in (
+            "n_workers", "n_transfer_bootstrap", "n_adapt_iterations",
+            "replay_capacity", "n_replays",
+        ):
             if key in tuner:
                 value = tuner[key]
                 if not isinstance(value, int) or isinstance(value, bool) or value < 1:
@@ -312,6 +336,11 @@ class TuningRegistry:
             raise ValueError(
                 f"tuner.surrogate_backend must be one of {SURROGATE_BACKENDS}, "
                 f"got {tuner['surrogate_backend']!r}"
+            )
+        if tuner.get("replay_eval", "off") not in REPLAY_EVAL_MODES:
+            raise ValueError(
+                f"tuner.replay_eval must be one of {REPLAY_EVAL_MODES}, "
+                f"got {tuner['replay_eval']!r}"
             )
         if not CONTROLLER_KEYS.issuperset(controller):
             raise ValueError(
@@ -400,6 +429,7 @@ class TuningRegistry:
         tuner_kwargs = dict(meta.get("tuner", {}))
         tuner_kwargs.setdefault("n_workers", self.default_eval_workers)
         tuner_kwargs.setdefault("surrogate_backend", self.default_surrogate_backend)
+        tuner_kwargs.setdefault("replay_eval", self.default_replay_eval)
         if self.max_eval_workers is not None:
             tuner_kwargs["n_workers"] = min(
                 int(tuner_kwargs["n_workers"]), self.max_eval_workers
@@ -449,6 +479,22 @@ class TuningRegistry:
         """Rebuild one session from the store, warm-starting when possible."""
         session = self._build_session(app_id, self.store.app_meta(app_id))
         session.transfer_provenance = self.store.load_transfer(app_id)
+        if session.locat.replay_eval != "off":
+            # The replay trace is a rebuildable optimization cache, not
+            # authoritative state: a corrupt trace.jsonl logs a warning
+            # and restarts with an empty trace instead of quarantining
+            # the tenant the way a corrupt run table would.
+            try:
+                trace_steps = self.store.load_trace(app_id)
+            except ValueError as exc:
+                print(
+                    f"warning: discarding replay trace for {app_id!r}: {exc}",
+                    file=sys.stderr,
+                )
+                trace_steps = []
+            if trace_steps:
+                session.locat.restore_replay_trace(trace_steps)
+            session.persisted_trace_index = session.locat.replay_trace.next_index
         qcsa, cps = self.store.load_artifacts(app_id)
         tuning_rows = self.store.observations(app_id, source=SOURCE_TUNING)
         if cps is not None and len(tuning_rows) >= MIN_RESTORE_OBSERVATIONS:
@@ -623,6 +669,14 @@ class TuningRegistry:
         events = session.controller.drain_promotion_events()
         if events:
             self.store.append_winners(session.app_id, events)
+        if locat.replay_eval != "off":
+            new_steps = [
+                step for step in locat.replay_trace.steps
+                if step.index >= session.persisted_trace_index
+            ]
+            if new_steps:
+                self.store.append_trace(session.app_id, new_steps)
+                session.persisted_trace_index = locat.replay_trace.next_index
         if session.controller.is_deployed:
             state = {
                 "config": config_to_dict(session.controller.deployed_config),

@@ -106,6 +106,7 @@ class TuningService:
         default_detector: str = "ph",
         default_surrogate_backend: str = "exact",
         default_promotion: str = "immediate",
+        default_replay_eval: str = "off",
         max_pending: int | None = None,
         log_requests: bool = False,
         admin: bool = False,
@@ -128,7 +129,10 @@ class TuningService:
         "auto" — see :mod:`repro.surrogate.policy`);
         ``default_promotion`` decides what happens to a retune's winner
         for tenants that do not set ``controller.promotion``
-        ("immediate" or "shadow_ab" — see :mod:`repro.core.promotion`).
+        ("immediate" or "shadow_ab" — see :mod:`repro.core.promotion`);
+        ``default_replay_eval`` turns on trace-replay candidate
+        evaluation for tenants that do not set ``tuner.replay_eval``
+        ("off" or "race" — see :mod:`repro.replay`).
 
         ``max_pending`` bounds the scheduler's queued backlog: beyond it
         submissions answer 429 with a ``Retry-After`` hint instead of
@@ -153,6 +157,7 @@ class TuningService:
             default_detector=default_detector,
             default_surrogate_backend=default_surrogate_backend,
             default_promotion=default_promotion,
+            default_replay_eval=default_replay_eval,
         )
         self.scheduler = JobScheduler(
             n_workers=n_workers,

@@ -63,6 +63,7 @@ class ShardedTuningService:
         default_detector: str = "ph",
         default_surrogate_backend: str = "exact",
         default_promotion: str = "immediate",
+        default_replay_eval: str = "off",
         max_pending: int | None = None,
         log_requests: bool = False,
         service_factory=None,
@@ -92,6 +93,7 @@ class ShardedTuningService:
                     default_detector=default_detector,
                     default_surrogate_backend=default_surrogate_backend,
                     default_promotion=default_promotion,
+                    default_replay_eval=default_replay_eval,
                     max_pending=max_pending,
                     log_requests=log_requests,
                     # Single-worker mode keeps legacy job ids so the

@@ -48,6 +48,7 @@ class WorkerSpec:
     default_detector: str = "ph"
     default_surrogate_backend: str = "exact"
     default_promotion: str = "immediate"
+    default_replay_eval: str = "off"
     max_pending: int | None = None
     log_requests: bool = False
     #: Job-id namespace, e.g. ``"w2-"`` — empty for single-worker mode
@@ -73,6 +74,7 @@ def default_service(spec: WorkerSpec) -> TuningService:
         default_detector=spec.default_detector,
         default_surrogate_backend=spec.default_surrogate_backend,
         default_promotion=spec.default_promotion,
+        default_replay_eval=spec.default_replay_eval,
         max_pending=spec.max_pending,
         log_requests=spec.log_requests,
         admin=True,

@@ -24,6 +24,11 @@ One directory per registered application:
                                     one record per promote/reject
                                     decision (both configs, paired
                                     deltas with CIs, decision reason)
+    <root>/<app_id>/trace.jsonl     replay trace: one JSON line per
+                                    recorded production run (datasize,
+                                    environment factors, RNG seed key,
+                                    measured duration), only for tenants
+                                    with replay evaluation enabled
 
 The run table is the durable substrate everything else rebuilds from —
 the CPE/KPCA manifold and the DAGP are deliberately *not* persisted,
@@ -53,6 +58,7 @@ from pathlib import Path
 from repro.core.datasize import normalize_datasize
 from repro.core.iicp import CPSResult
 from repro.core.qcsa import QCSAResult
+from repro.replay.trace import TraceStep
 
 #: Sources a run-table record can come from.
 SOURCE_TUNING = "tuning"        # an RQA/bootstrap sample collected by LOCAT
@@ -315,6 +321,65 @@ class HistoryStore:
         if source is not None:
             records = [r for r in records if r.source == source]
         return records
+
+    # ------------------------------------------------------------------
+    # Replay trace (trace.jsonl, same durability contract as runs.jsonl)
+    # ------------------------------------------------------------------
+    def append_trace(self, app_id: str, steps: list[TraceStep]) -> None:
+        """Append replay-trace steps, one flushed JSON line each.
+
+        Same crash semantics as :meth:`append_many`: the torn tail is
+        trimmed before appending, each batch is fsynced, and a killed
+        service loses at most the step being written.
+        """
+        if not steps:
+            return
+        path = self.app_dir(app_id) / "trace.jsonl"
+        with self._lock:
+            self._truncate_torn_tail(path)
+            with open(path, "a") as handle:
+                for step in steps:
+                    handle.write(json.dumps(step.to_json()) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def load_trace(self, app_id: str) -> list[TraceStep]:
+        """The persisted replay trace in append order.
+
+        A torn trailing line (no newline) is dropped — it was never
+        durable.  A corrupt *newline-terminated* line raises
+        ``ValueError``: unlike the run table, a damaged trace never
+        quarantines the tenant (the registry logs and restarts with an
+        empty trace — a trace is an optimization cache the next
+        production runs rebuild, not the tenant's knowledge).
+        """
+        path = self.app_dir(app_id) / "trace.jsonl"
+        if not path.exists():
+            return []
+        try:
+            text = path.read_text()
+        except UnicodeDecodeError as exc:
+            raise ValueError(
+                f"corrupt replay trace for application {app_id!r}: "
+                f"{path} is not valid UTF-8 ({exc})"
+            ) from exc
+        lines = text.splitlines()
+        if lines and not text.endswith("\n"):
+            lines = lines[:-1]  # torn tail: never durable
+        steps: list[TraceStep] = []
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                steps.append(TraceStep.from_json(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"corrupt replay trace for application {app_id!r}: "
+                    f"line {i + 1} of {path} is not a valid trace step "
+                    f"({exc})"
+                ) from exc
+        return steps
 
     # ------------------------------------------------------------------
     # Bootstrap artifacts and deployed state

@@ -70,7 +70,7 @@ class SparkSQLSimulator:
         app: Application,
         config: Configuration,
         datasize_gb: float,
-        rng: int | np.random.Generator | None = None,
+        rng: int | tuple[int, ...] | np.random.Generator | None = None,
     ) -> ApplicationMetrics:
         """Execute every query of ``app`` and return application metrics."""
         if datasize_gb <= 0:
@@ -91,7 +91,7 @@ class SparkSQLSimulator:
         query: Query,
         config: Configuration,
         datasize_gb: float,
-        rng: int | np.random.Generator | None = None,
+        rng: int | tuple[int, ...] | np.random.Generator | None = None,
     ) -> QueryMetrics:
         """Execute a single query (convenience wrapper)."""
         gen = ensure_rng(rng)

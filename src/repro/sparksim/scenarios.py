@@ -393,6 +393,13 @@ class ScenarioStream:
     baseline plus the drifted states), and every step derives its own
     RNG from ``(seed, step.index)``, so a measurement depends only on
     the step and the configuration, never on execution order.
+
+    ``trace`` is an optional :class:`~repro.replay.trace.ReplayTrace`:
+    when set, every measurement records a trace step carrying the exact
+    ``(seed, step.index)`` RNG key it consumed, the step's environment
+    factors, and the measured duration — re-running the simulator with
+    that key under the rebuilt environment reproduces the measurement
+    bit for bit (pinned by test).
     """
 
     def __init__(
@@ -402,12 +409,14 @@ class ScenarioStream:
         cluster: ClusterSpec,
         noise: float = 0.04,
         seed: int = 0,
+        trace=None,
     ):
         self.scenario = scenario
         self.app = app
         self.cluster = cluster
         self.noise = noise
         self.seed = int(seed)
+        self.trace = trace
         self._environments: dict[tuple, tuple[SparkSQLSimulator, Application]] = {}
 
     def environment(self, step: RunStep) -> tuple[SparkSQLSimulator, Application]:
@@ -426,8 +435,20 @@ class ScenarioStream:
     def measure(self, step: RunStep, config) -> float:
         """Full-application duration of ``config`` under ``step``."""
         simulator, app = self.environment(step)
-        rng = np.random.default_rng((self.seed, step.index))
-        return float(simulator.run(app, config, step.datasize_gb, rng=rng).duration_s)
+        rng_key = (self.seed, step.index)
+        rng = np.random.default_rng(rng_key)
+        duration = float(
+            simulator.run(app, config, step.datasize_gb, rng=rng).duration_s
+        )
+        if self.trace is not None:
+            self.trace.record(
+                datasize_gb=step.datasize_gb,
+                duration_s=duration,
+                rng_key=rng_key,
+                config=config,
+                environment=step,
+            )
+        return duration
 
 
 __all__ = [

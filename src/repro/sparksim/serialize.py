@@ -21,6 +21,24 @@ def config_to_dict(config: Configuration) -> dict[str, ParamValue]:
     return config.as_dict()
 
 
+def canonical_key(config: Configuration) -> tuple:
+    """Canonical identity of a configuration for history matching.
+
+    Exact ``Configuration.__eq__`` is too brittle across process
+    restarts: a configuration rehydrated from ``deployed.json`` must
+    match the LOCAT observations rehydrated from ``runs.jsonl``, and a
+    JSON float/type round trip (or any upstream arithmetic) may leave
+    the two off by one ulp — silently killing drift detection for the
+    rest of the service's life.  The key compares booleans as booleans
+    and every numeric value as a float rounded well below parameter
+    resolution, so equal logical configurations always collide.
+    """
+    return tuple(
+        (name, value if isinstance(value, bool) else round(float(value), 9))
+        for name, value in sorted(config.as_dict().items())
+    )
+
+
 def config_from_dict(values: Mapping[str, ParamValue]) -> Configuration:
     """Exact inverse of :func:`config_to_dict`.
 
@@ -110,6 +128,7 @@ def metrics_from_dict(data: Mapping) -> ApplicationMetrics:
 
 
 __all__ = [
+    "canonical_key",
     "config_from_dict",
     "config_to_dict",
     "metrics_from_dict",

@@ -26,6 +26,16 @@ class TestParser:
         )
         assert args.set == ["a=1", "b=2"]
 
+    def test_replay_eval_flags(self):
+        assert build_parser().parse_args(["tune"]).replay_eval == "off"
+        args = build_parser().parse_args(["tune", "--replay-eval", "race"])
+        assert args.replay_eval == "race"
+        assert build_parser().parse_args(["serve"]).replay_eval == "off"
+        args = build_parser().parse_args(["serve", "--replay-eval", "race"])
+        assert args.replay_eval == "race"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--replay-eval", "sometimes"])
+
 
 class TestCommands:
     def test_simulate_runs(self, capsys):
