@@ -1,0 +1,109 @@
+"""The committed findings baseline: grandfathered-but-gated.
+
+A baseline entry identifies one historical finding by **content
+fingerprint** — a hash of (rule id, repo-relative path, the stripped
+source line) — not by line number, so unrelated edits above a
+grandfathered finding do not break the CI gate.  Matching is multiset
+semantics: a fingerprint listed N times excuses at most N live
+findings, so duplicating a grandfathered pattern still fails.
+
+Entries whose fingerprint no longer matches anything are *stale*;
+``repro check`` reports them so the baseline shrinks monotonically as
+old findings get fixed (``--update-baseline`` rewrites the file from
+the current findings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, looked up in the current directory.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def fingerprint(rule: str, rel_path: str, source_line: str) -> str:
+    """Stable identity of a finding, independent of its line number."""
+    digest = hashlib.sha256(
+        b"\x00".join(
+            (rule.encode(), rel_path.encode(), source_line.strip().encode())
+        )
+    )
+    return digest.hexdigest()[:16]
+
+
+class Baseline:
+    """An on-disk multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: list[dict] | None = None, path: str | None = None):
+        self.path = path
+        self.entries = list(entries or [])
+        self._counts = Counter(e["fingerprint"] for e in self.entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: expected a baseline object with version {BASELINE_VERSION}"
+            )
+        entries = data.get("findings", [])
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise ValueError(f"{path}: findings[{i}] has no fingerprint")
+        return cls(entries, path=str(path))
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[dict]]:
+        """Partition findings into (new, grandfathered) + stale entries.
+
+        Findings are consumed in report order, so with duplicate
+        fingerprints the earliest occurrences are the grandfathered
+        ones and any excess is new.
+        """
+        budget = Counter(self._counts)
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            if budget[finding.fingerprint] > 0:
+                budget[finding.fingerprint] -= 1
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        stale: list[dict] = []
+        for entry in self.entries:
+            if budget[entry["fingerprint"]] > 0:
+                budget[entry["fingerprint"]] -= 1
+                stale.append(entry)
+        return new, grandfathered, stale
+
+    @staticmethod
+    def render(findings: list[Finding]) -> dict:
+        """The JSON document grandfathering exactly ``findings``."""
+        return {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.rel_path,
+                    "fingerprint": f.fingerprint,
+                    "line": f.line,
+                    "message": f.message,
+                }
+                for f in sorted(findings)
+            ],
+        }
+
+    def write(self, findings: list[Finding], path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.render(findings), indent=2) + "\n")

@@ -1,0 +1,38 @@
+"""The finding record shared by the engine, the rules, and the CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the file as the user named it (what gets printed);
+    ``rel_path`` is the repo-relative form used for baseline
+    fingerprints, so matching does not depend on the directory
+    ``repro check`` was invoked from.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    rel_path: str = field(default="", compare=False)
+    fingerprint: str = field(default="", compare=False)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        """Stable ``--json`` schema (covered by tests; extend, don't rename)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,37 @@
+"""The shipped rule set for ``repro check``.
+
+Every rule encodes an invariant this codebase has paid for at least
+once; ``docs/static-analysis.md`` records the motivating bug for each.
+Rules hold per-run state (the seed-salt registry), so callers get a
+fresh instance list from :func:`default_rules` for every run.
+"""
+
+from repro.analysis.rules.falsyzero import FalsyZeroRule
+from repro.analysis.rules.floateq import FloatEqRule
+from repro.analysis.rules.hashiter import HashIterationRule
+from repro.analysis.rules.locks import LockDisciplineRule
+from repro.analysis.rules.persist import ValidateBeforePersistRule
+from repro.analysis.rules.rng import RngDisciplineRule
+
+
+def default_rules():
+    """Fresh instances of every shipped rule, in report order."""
+    return [
+        RngDisciplineRule(),
+        HashIterationRule(),
+        FalsyZeroRule(),
+        FloatEqRule(),
+        ValidateBeforePersistRule(),
+        LockDisciplineRule(),
+    ]
+
+
+__all__ = [
+    "FalsyZeroRule",
+    "FloatEqRule",
+    "HashIterationRule",
+    "LockDisciplineRule",
+    "RngDisciplineRule",
+    "ValidateBeforePersistRule",
+    "default_rules",
+]

@@ -1,0 +1,137 @@
+"""falsy-zero: ``x or default`` on values where 0 is legitimate.
+
+The online controller's ``duration_s or predicted`` bug: a genuine
+0.0-second measurement silently became the model's prediction, because
+``or`` cannot tell "absent" from "zero".  Flagged:
+
+* ``name or <expr>`` where ``name`` is a parameter or annotated
+  variable of Optional-numeric type (``float | None``, ``Optional[int]``,
+  ...) — the value's own contract says 0 is a real value and None is
+  the absence marker, so the test must be ``is None``;
+* ``<obj>.get(key) or <numeric literal>`` — one-argument ``dict.get``
+  returns None for a missing key, and the ``or`` collapses a stored
+  0/0.0 into the default.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import ModuleInfo, Rule, walk_scope
+from repro.analysis.findings import Finding
+
+_NUMERIC_NAMES = ("int", "float")
+
+
+def _is_optional_numeric(annotation: ast.expr | None) -> bool:
+    """True for ``float | None`` / ``Optional[int]`` style annotations."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return False
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        sides = (annotation.left, annotation.right)
+        has_none = any(
+            isinstance(s, ast.Constant) and s.value is None for s in sides
+        )
+        has_numeric = any(
+            isinstance(s, ast.Name) and s.id in _NUMERIC_NAMES for s in sides
+        ) or any(
+            # Nested unions: int | float | None
+            _is_optional_numeric(s) or _is_numeric_union(s) for s in sides
+        )
+        return has_none and has_numeric
+    if isinstance(annotation, ast.Subscript) and isinstance(annotation.value, ast.Name):
+        if annotation.value.id == "Optional":
+            inner = annotation.slice
+            return isinstance(inner, ast.Name) and inner.id in _NUMERIC_NAMES
+    return False
+
+
+def _is_numeric_union(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _NUMERIC_NAMES
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _is_numeric_union(node.left) or _is_numeric_union(node.right)
+    return False
+
+
+def _optional_numeric_names(scope: ast.AST) -> set[str]:
+    """Parameter / annotated-variable names of Optional-numeric type."""
+    names: set[str] = set()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if _is_optional_numeric(arg.annotation):
+                names.add(arg.arg)
+    for node in walk_scope(scope):
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _is_optional_numeric(node.annotation):
+                names.add(node.target.id)
+    return names
+
+
+def _is_single_arg_get(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and len(node.args) == 1
+        and not node.keywords
+    )
+
+
+def _is_numeric_constant(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    )
+
+
+class FalsyZeroRule(Rule):
+    rule_id = "falsy-zero"
+    description = (
+        "`x or default` on Optional-numeric values silently replaces a "
+        "legitimate 0/0.0; test `is None` instead"
+    )
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        scopes = [module.tree] + [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        ]
+        for scope in scopes:
+            optional_names = _optional_numeric_names(scope)
+            for node in walk_scope(scope):
+                if not (isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or)):
+                    continue
+                first = node.values[0]
+                if isinstance(first, ast.Name) and first.id in optional_names:
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.rule_id,
+                            f"{first.id!r} is Optional-numeric: `or` replaces a "
+                            "legitimate 0/0.0 with the default; use an explicit "
+                            "`is None` check",
+                        )
+                    )
+                elif _is_single_arg_get(first) and any(
+                    _is_numeric_constant(v) for v in node.values[1:]
+                ):
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.rule_id,
+                            ".get(key) or <number> collapses a stored 0/0.0 into "
+                            "the default; use .get(key, default) only if 0 really "
+                            "means absent, else an explicit `is None` check",
+                        )
+                    )
+        return findings

@@ -1,0 +1,82 @@
+"""float-eq: ``==``/``!=`` between float-typed expressions.
+
+Exact float comparison is only correct for sentinel round-trips (a
+value stored and compared unmodified); anything that went through
+arithmetic diverges across BLAS builds and optimization levels.  The
+rule flags comparisons where a side is statically float-typed: a float
+literal, a ``float(...)`` call, or a name/parameter annotated ``float``.
+Deliberate sentinel comparisons carry ``# repro: allow[float-eq]`` with
+the justification visible at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import ModuleInfo, Rule, walk_scope
+from repro.analysis.findings import Finding
+
+
+def _float_annotated(scope: ast.AST) -> set[str]:
+    names: set[str] = set()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if isinstance(arg.annotation, ast.Name) and arg.annotation.id == "float":
+                names.add(arg.arg)
+    for node in walk_scope(scope):
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if isinstance(node.annotation, ast.Name) and node.annotation.id == "float":
+                names.add(node.target.id)
+    return names
+
+
+def _is_float_typed(node: ast.expr, float_names: set[str]) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_typed(node.operand, float_names)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in float_names
+    return False
+
+
+class FloatEqRule(Rule):
+    rule_id = "float-eq"
+    description = (
+        "exact ==/!= between floats is build-dependent once arithmetic is "
+        "involved; compare with a tolerance or annotate the sentinel"
+    )
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        scopes = [module.tree] + [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        ]
+        for scope in scopes:
+            float_names = _float_annotated(scope)
+            for node in walk_scope(scope):
+                if not isinstance(node, ast.Compare):
+                    continue
+                if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                    continue
+                operands = [node.left, *node.comparators]
+                if any(_is_float_typed(o, float_names) for o in operands):
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.rule_id,
+                            "exact float ==/!= comparison; use a tolerance "
+                            "(math.isclose / abs diff) or, for a true sentinel "
+                            "round-trip, annotate `# repro: allow[float-eq]`",
+                        )
+                    )
+        return findings

@@ -1,0 +1,118 @@
+"""hash-iteration: no ordering-sensitive iteration over hash containers.
+
+Iterating a ``set``/``frozenset`` visits elements in PYTHONHASHSEED-
+dependent order, so any downstream float accumulation or tie-break
+becomes process-dependent (the ``_polish`` frozenset bug: tuned configs
+differed across machines).  ``dict.keys()`` iteration is flagged too —
+insertion order is deterministic only when every code path builds the
+dict identically, which is exactly the assumption that rots.
+
+Flagged: ``for``-loops and comprehensions whose iterable is statically
+set-typed (a set literal / comprehension, a ``set()``/``frozenset()``
+call, or a local name only ever bound to one of those) or a bare
+``.keys()`` call, plus ``list()``/``tuple()`` over set-typed arguments.
+Wrapping the iterable in ``sorted()`` resolves the finding.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import ModuleInfo, Rule, walk_scope
+from repro.analysis.findings import Finding
+
+_ORDER_SENSITIVE_WRAPPERS = ("list", "tuple")
+
+
+def _is_set_literalish(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class _ScopeNames:
+    """Names in one scope bound *only* to set-typed expressions."""
+
+    def __init__(self, scope: ast.AST):
+        bound: dict[str, bool] = {}
+        for node in walk_scope(scope):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    is_set = _is_set_literalish(node.value)
+                    bound[target.id] = bound.get(target.id, True) and is_set
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if node.value is not None:
+                    is_set = _is_set_literalish(node.value)
+                    bound[node.target.id] = bound.get(node.target.id, True) and is_set
+        self.set_names = {name for name, is_set in bound.items() if is_set}
+
+
+class HashIterationRule(Rule):
+    rule_id = "hash-iteration"
+    description = (
+        "iterating sets/frozensets (or bare .keys()) without sorted() makes "
+        "downstream order PYTHONHASHSEED-dependent"
+    )
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        scopes = [module.tree] + [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        ]
+        for scope in scopes:
+            names = _ScopeNames(scope)
+            for node in walk_scope(scope):
+                findings.extend(self._check_node(module, node, names))
+        return findings
+
+    def _check_node(
+        self, module: ModuleInfo, node: ast.AST, names: _ScopeNames
+    ) -> list[Finding]:
+        iterables: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            iterables.extend(gen.iter for gen in node.generators)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_SENSITIVE_WRAPPERS
+            and len(node.args) == 1
+        ):
+            iterables.append(node.args[0])
+        findings = []
+        for iterable in iterables:
+            kind = self._unordered_kind(iterable, names)
+            if kind is not None:
+                findings.append(
+                    module.finding(
+                        iterable,
+                        self.rule_id,
+                        f"iteration over {kind} has no stable order; wrap the "
+                        "iterable in sorted(...) (or iterate a list kept in a "
+                        "deliberate order)",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _unordered_kind(node: ast.expr, names: _ScopeNames) -> str | None:
+        if _is_set_literalish(node):
+            return "a set/frozenset"
+        if isinstance(node, ast.Name) and node.id in names.set_names:
+            return f"a set/frozenset ({node.id!r})"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "keys"
+            and not node.args
+        ):
+            return ".keys()"
+        return None

@@ -1,0 +1,204 @@
+"""lock-discipline: guarded state only moves under its lock.
+
+A lightweight static race detector.  State shared across threads is
+*declared* at its initial assignment with a ``# guarded-by:`` comment:
+
+    self._jobs = {}          # guarded-by: _lock
+    self._busy = set()       # guarded-by: _lock, _cond
+    cursor = 0               # guarded-by: cursor_lock   (function-local)
+
+After declaration, every read or write of the attribute (outside the
+declaring ``__init__``) must sit lexically inside a ``with self._lock:``
+block naming one of the declared guards — ``with self._cond:`` counts
+when ``_cond`` is listed (a Condition wrapping the lock), as does a
+subscripted guard table ``with self._locks[shard]:``.  Methods whose
+name ends in ``_locked`` are exempt by convention: they document that
+the caller already holds the lock.
+
+The function-local form guards closure state: a variable declared in an
+outer function may only be touched by nested functions inside a
+``with <guard>:`` block; the declaring function's own straight-line
+setup is exempt, like ``__init__``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import GUARDED_BY_RE, ModuleInfo, Rule, parents, walk_scope
+from repro.analysis.findings import Finding
+
+
+def _declared_guards(module: ModuleInfo, lineno: int) -> frozenset[str] | None:
+    match = GUARDED_BY_RE.search(module.line(lineno))
+    if match is None:
+        return None
+    return frozenset(part.strip() for part in match.group(1).split(",") if part.strip())
+
+
+def _with_guards_attr(node: ast.With) -> set[str]:
+    """Guard attribute names this with-statement acquires via ``self.X``."""
+    guards: set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Subscript):
+            expr = expr.value  # with self._locks[shard]:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            guards.add(expr.attr)
+    return guards
+
+
+def _with_guards_name(node: ast.With) -> set[str]:
+    """Guard names acquired via a bare ``with lock:`` / ``with locks[i]:``."""
+    guards: set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Subscript):
+            expr = expr.value
+        if isinstance(expr, ast.Name):
+            guards.add(expr.id)
+    return guards
+
+
+def _held_guards(node: ast.AST, attr_form: bool) -> set[str]:
+    """Guards lexically held at ``node``, within its innermost function.
+
+    The walk stops at the first enclosing function/lambda boundary: a
+    ``with`` block in an *outer* function does not protect code that
+    runs later inside a closure.
+    """
+    held: set[str] = set()
+    for ancestor in parents(node):
+        if isinstance(ancestor, ast.With):
+            held |= _with_guards_attr(ancestor) if attr_form else _with_guards_name(ancestor)
+        elif isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            break
+    return held
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "lock-discipline"
+    description = (
+        "attributes declared `# guarded-by: <lock>` may only be touched "
+        "inside a `with self.<lock>:` block (methods named *_locked exempt)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_closures(module, node))
+        return findings
+
+    # ------------------------------------------------------------------
+    # self.<attr> guarded state
+    # ------------------------------------------------------------------
+    def _check_class(self, module: ModuleInfo, cls: ast.ClassDef) -> list[Finding]:
+        init = next(
+            (
+                stmt
+                for stmt in cls.body
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return []
+        guarded: dict[str, frozenset[str]] = {}
+        for node in ast.walk(init):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    guards = _declared_guards(module, node.lineno)
+                    if guards:
+                        guarded[target.attr] = guards
+        if not guarded:
+            return []
+        findings: list[Finding] = []
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__" or method.name.endswith("_locked"):
+                continue
+            for node in ast.walk(method):
+                if not (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in guarded
+                ):
+                    continue
+                guards = guarded[node.attr]
+                if not (_held_guards(node, attr_form=True) & guards):
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.rule_id,
+                            f"self.{node.attr} is declared guarded-by "
+                            f"{'/'.join(sorted(guards))} but is touched in "
+                            f"{method.name}() outside a `with self.<guard>:` "
+                            "block",
+                        )
+                    )
+        return findings
+
+    # ------------------------------------------------------------------
+    # function-local guarded state shared with closures
+    # ------------------------------------------------------------------
+    def _check_closures(
+        self, module: ModuleInfo, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[Finding]:
+        guarded: dict[str, frozenset[str]] = {}
+        for stmt in fn.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    guards = _declared_guards(module, stmt.lineno)
+                    if guards:
+                        guarded[target.id] = guards
+        if not guarded:
+            return []
+        findings: list[Finding] = []
+        nested = [
+            node
+            for node in ast.walk(fn)
+            if node is not fn
+            and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for closure in nested:
+            if closure.name.endswith("_locked"):
+                continue
+            for node in walk_scope(closure):
+                if not (isinstance(node, ast.Name) and node.id in guarded):
+                    continue
+                if not isinstance(node.ctx, (ast.Load, ast.Store, ast.Del)):
+                    continue
+                guards = guarded[node.id]
+                if node.id in guards:
+                    continue  # the guard object itself (with cursor_lock:)
+                if not (_held_guards(node, attr_form=False) & guards):
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.rule_id,
+                            f"{node.id!r} is declared guarded-by "
+                            f"{'/'.join(sorted(guards))} but is touched in "
+                            f"closure {closure.name}() outside a "
+                            "`with <guard>:` block",
+                        )
+                    )
+        return findings

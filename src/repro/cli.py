@@ -12,7 +12,11 @@ Commands:
   a persistent history store; ``--workers N`` shards tenants across N
   worker processes behind a routing front end;
 * ``loadgen`` — drive closed- or open-loop load against a running
-  service and report throughput / latency percentiles / failure rate.
+  service and report throughput / latency percentiles / failure rate;
+* ``check`` — run the repo's own static-analysis rules (RNG/seed
+  discipline, hash-order iteration, falsy-zero defaulting, float
+  equality, validate-before-persist, lock discipline) over the source
+  tree; see docs/static-analysis.md.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from repro.harness.report import format_table
 from repro.sparksim import SparkSQLSimulator, get_application, list_benchmarks
 from repro.sparksim.cluster import get_cluster
 from repro.stats.abtest import compare_paired
+from repro.stats.sampling import ensure_rng
 from repro.surrogate.policy import SURROGATE_BACKENDS
 
 
@@ -256,6 +261,14 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--seed", type=int, default=1, help="random seed")
     loadgen.add_argument("--csv", metavar="PATH", help="append-style run_table.csv output")
     loadgen.add_argument("--json", metavar="PATH", help="full summary JSON output")
+
+    from repro.analysis.cli import build_check_parser
+
+    check = sub.add_parser(
+        "check",
+        help="run the repo's static-analysis rules (see docs/static-analysis.md)",
+    )
+    build_check_parser(check)
     return parser
 
 
@@ -358,13 +371,13 @@ def cmd_tune(args) -> int:
             seed = (SHADOW_SEED_SALT, args.seed, k)
             baseline_s.append(
                 simulator.run(
-                    app, baseline, args.datasize, rng=np.random.default_rng(seed)
+                    app, baseline, args.datasize, rng=ensure_rng(seed)
                 ).duration_s
             )
             challenger_s.append(
                 simulator.run(
                     app, result.best_config, args.datasize,
-                    rng=np.random.default_rng(seed),
+                    rng=ensure_rng(seed),
                 ).duration_s
             )
         test = compare_paired(
@@ -588,6 +601,12 @@ def cmd_loadgen(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from repro.analysis.cli import cmd_check as run
+
+    return run(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -597,6 +616,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "check": cmd_check,
     }
     return handlers[args.command](args)
 

@@ -59,6 +59,7 @@ from repro.core.promotion import (
     winner_record,
 )
 from repro.core.result import TuningResult
+from repro.stats.sampling import ensure_rng
 from repro.sparksim.configspace import Configuration
 
 #: Cap multiplier on the legacy-store calibration anchor: a deployment
@@ -559,12 +560,12 @@ class OnlineController:
         incumbent_s = self._shadow_measure(
             shadow.incumbent,
             datasize_gb,
-            np.random.default_rng((SHADOW_SEED_SALT, shadow.seed, k)),
+            ensure_rng((SHADOW_SEED_SALT, shadow.seed, k)),
         )
         challenger_s = self._shadow_measure(
             shadow.challenger,
             datasize_gb,
-            np.random.default_rng((SHADOW_SEED_SALT, shadow.seed, k)),
+            ensure_rng((SHADOW_SEED_SALT, shadow.seed, k)),
         )
         shadow.pairs.append(
             ShadowPair(

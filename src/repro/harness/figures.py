@@ -292,7 +292,8 @@ class Fig09Result:
         top-5 at the largest sample count — the ranking-head stability
         that makes N_IICP=20 sufficient for tuning."""
         per_n = self.top5[benchmark]
-        n_large = n_large or max(per_n)
+        if n_large is None:
+            n_large = max(per_n)
         return len(set(per_n[n_small]) & set(per_n[n_large]))
 
 

@@ -22,13 +22,20 @@ backpressure.
 
 from __future__ import annotations
 
-import random
 import threading
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.loadgen.workload import OpMix, TenantPlan
 from repro.service.client import ServiceError, TuningClient
+from repro.stats.sampling import ensure_rng
+
+#: Salt for every load-generation stream; disjoint from
+#: REPLAY_SEED_SALT and SHADOW_SEED_SALT so a shared base seed cannot
+#: correlate load arrivals with replay or shadow draws.
+LOADGEN_SEED_SALT = 0x10AD
 
 
 @dataclass(frozen=True)
@@ -52,7 +59,7 @@ def _issue(
     client: TuningClient,
     plan: TenantPlan,
     op: str,
-    rng: random.Random,
+    rng: np.random.Generator,
     batch_size: int,
 ) -> tuple[str, int | None, int]:
     """Run one operation; returns (outcome, http_status, n_observations)."""
@@ -118,7 +125,7 @@ def run_closed_loop(
     deadline = start + duration_s
 
     def client_loop(index: int) -> None:
-        rng = random.Random(f"{seed}:client:{index}")
+        rng = ensure_rng((LOADGEN_SEED_SALT, seed, 1, index))
         mine = tenants[index::clients]
         client = TuningClient(base_url)
         try:
@@ -127,7 +134,7 @@ def run_closed_loop(
                 if now >= deadline:
                     break
                 op = mix.sample(rng)
-                plan = rng.choice(mine)
+                plan = mine[rng.integers(len(mine))]
                 outcome, status, n_obs = _issue(client, plan, op, rng, batch_size)
                 records[index].append(
                     RequestRecord(
@@ -181,24 +188,24 @@ def run_open_loop(
         raise ValueError("no tenants to drive")
     if rate_rps <= 0:
         raise ValueError(f"rate_rps must be positive, got {rate_rps}")
-    rng = random.Random(f"{seed}:arrivals")
+    rng = ensure_rng((LOADGEN_SEED_SALT, seed, 2))
     schedule: list[tuple[float, str, TenantPlan]] = []
     t = 0.0
     while True:
-        t += rng.expovariate(rate_rps)
+        t += rng.exponential(1.0 / rate_rps)
         if t >= duration_s:
             break
-        schedule.append((t, mix.sample(rng), rng.choice(tenants)))
+        schedule.append((t, mix.sample(rng), tenants[rng.integers(len(tenants))]))
 
     n_dispatchers = min(max_dispatchers, max(len(schedule), 1))
     records: list[list[RequestRecord]] = [[] for _ in range(n_dispatchers)]
     cursor_lock = threading.Lock()
-    cursor = 0
+    cursor = 0  # guarded-by: cursor_lock
     start = clock()
 
     def dispatcher(index: int) -> None:
         nonlocal cursor
-        rng_local = random.Random(f"{seed}:dispatch:{index}")
+        rng_local = ensure_rng((LOADGEN_SEED_SALT, seed, 3, index))
         client = TuningClient(base_url)
         try:
             while True:

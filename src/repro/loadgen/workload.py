@@ -14,9 +14,10 @@ path: ingest, persist, status, config.
 
 from __future__ import annotations
 
-import random
 import threading
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.service.sharding.shard import stable_slot
 
@@ -73,7 +74,7 @@ class OpMix:
             raise ValueError(f"mix {spec!r} has no positive weight")
         return cls(tuple((op, weights[op] / total) for op in OPS if weights.get(op, 0) > 0))
 
-    def sample(self, rng: random.Random) -> str:
+    def sample(self, rng: np.random.Generator) -> str:
         """Draw one operation according to the weights."""
         u = rng.random()
         acc = 0.0
@@ -103,7 +104,7 @@ class TenantPlan:
     #: steady-state observes report small wobbles around it.
     baseline_duration_s: float
 
-    def sample_duration(self, rng: random.Random, wobble: float = 0.02) -> float:
+    def sample_duration(self, rng: np.random.Generator, wobble: float = 0.02) -> float:
         """A plausible production runtime for the next observe."""
         return self.baseline_duration_s * rng.uniform(1.0 - wobble, 1.0 + wobble)
 

@@ -63,7 +63,7 @@ class TuningClient:
         # threads at once.
         self._local = threading.local()
         self._conns_lock = threading.Lock()
-        self._conns: list[http.client.HTTPConnection] = []
+        self._conns: list[http.client.HTTPConnection] = []  # guarded-by: _conns_lock
 
     # ------------------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:

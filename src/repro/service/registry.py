@@ -77,6 +77,103 @@ WARM_START_MODES = ("cold", "transfer")
 MIN_RESTORE_OBSERVATIONS = 3
 
 
+# ----------------------------------------------------------------------
+# Registration validators
+# ----------------------------------------------------------------------
+# Everything a tenant may pass at registration is validated by the
+# ``_validate_*`` helpers below, and :meth:`TuningRegistry.register`
+# calls every one of them *before* its first store write.  Anything
+# that only failed later — inside the LOCAT constructor, say — would
+# leave the invalid metadata persisted in ``app.json`` and crash every
+# subsequent rehydration of the whole service (the poisoning bug the
+# ``validate-before-persist`` check now guards against).
+
+
+def _validate_benchmark(benchmark: str) -> None:
+    if benchmark not in list_benchmarks():
+        raise ValueError(
+            f"unknown benchmark {benchmark!r}; expected one of {list_benchmarks()}"
+        )
+
+
+def _validate_warm_start(warm_start: str) -> None:
+    if warm_start not in WARM_START_MODES:
+        raise ValueError(
+            f"warm_start must be one of {WARM_START_MODES}, got {warm_start!r}"
+        )
+
+
+def _validate_tuner(tuner: dict) -> None:
+    if not TUNER_KEYS.issuperset(tuner):
+        raise ValueError(f"unknown tuner settings: {sorted(set(tuner) - TUNER_KEYS)}")
+    for key in (
+        "n_workers", "n_transfer_bootstrap", "n_adapt_iterations",
+        "replay_capacity", "n_replays",
+    ):
+        if key in tuner:
+            value = tuner[key]
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ValueError(
+                    f"tuner.{key} must be a positive integer, got {value!r}"
+                )
+    if tuner.get("surrogate_mode", "full") not in ("full", "incremental"):
+        raise ValueError(
+            "tuner.surrogate_mode must be 'full' or 'incremental', "
+            f"got {tuner['surrogate_mode']!r}"
+        )
+    if tuner.get("surrogate_backend", "exact") not in SURROGATE_BACKENDS:
+        raise ValueError(
+            f"tuner.surrogate_backend must be one of {SURROGATE_BACKENDS}, "
+            f"got {tuner['surrogate_backend']!r}"
+        )
+    if tuner.get("replay_eval", "off") not in REPLAY_EVAL_MODES:
+        raise ValueError(
+            f"tuner.replay_eval must be one of {REPLAY_EVAL_MODES}, "
+            f"got {tuner['replay_eval']!r}"
+        )
+
+
+def _validate_controller(controller: dict) -> None:
+    if not CONTROLLER_KEYS.issuperset(controller):
+        raise ValueError(
+            f"unknown controller settings: {sorted(set(controller) - CONTROLLER_KEYS)}"
+        )
+    if controller.get("detector", DETECTOR_MODES[0]) not in DETECTOR_MODES:
+        raise ValueError(
+            f"controller.detector must be one of {DETECTOR_MODES}, "
+            f"got {controller['detector']!r}"
+        )
+    if "partial_retunes" in controller and not isinstance(
+        controller["partial_retunes"], bool
+    ):
+        raise ValueError(
+            "controller.partial_retunes must be a boolean, "
+            f"got {controller['partial_retunes']!r}"
+        )
+    if controller.get("promotion", PROMOTION_MODES[0]) not in PROMOTION_MODES:
+        raise ValueError(
+            f"controller.promotion must be one of {PROMOTION_MODES}, "
+            f"got {controller['promotion']!r}"
+        )
+    if "shadow_runs" in controller:
+        value = controller["shadow_runs"]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ValueError(
+                f"controller.shadow_runs must be a positive integer, got {value!r}"
+            )
+    if "ab_alpha" in controller:
+        value = controller["ab_alpha"]
+        if (
+            not isinstance(value, (int, float))
+            or isinstance(value, bool)
+            or not 0.0 < float(value) < 1.0
+        ):
+            raise ValueError(
+                "controller.ab_alpha must be a number strictly between "
+                f"0 and 1, got {value!r}"
+            )
+
+
 class QuarantinedApplicationError(RuntimeError):
     """The tenant exists but its persisted state failed to rehydrate.
 
@@ -257,14 +354,14 @@ class TuningRegistry:
         #: Tenant overrides are clamped to it, so no tenant can demand
         #: more concurrency than the machine was provisioned for.
         self.max_eval_workers = None if max_eval_workers is None else int(max_eval_workers)
-        self._sessions: dict[str, AppSession] = {}
+        self._sessions: dict[str, AppSession] = {}  # guarded-by: _lock
         #: Tenants whose persisted state could not be rehydrated
         #: (app_id -> error message).  They are excluded from
         #: :attr:`app_ids` and :meth:`get` raises
         #: :class:`QuarantinedApplicationError` (HTTP 503) until the
         #: operator repairs the store — one tenant's corrupt run table
         #: must not keep the whole multi-tenant service from starting.
-        self.quarantined: dict[str, str] = {}
+        self.quarantined: dict[str, str] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         if rehydrate:
             for app_id in self.store.list_apps():
@@ -299,87 +396,16 @@ class TuningRegistry:
         applies; with no eligible donor the registration behaves exactly
         like ``"cold"``.
         """
-        if benchmark not in list_benchmarks():
-            raise ValueError(
-                f"unknown benchmark {benchmark!r}; expected one of {list_benchmarks()}"
-            )
+        _validate_benchmark(benchmark)
         warm_start = warm_start if warm_start is not None else self.default_warm_start
-        if warm_start not in WARM_START_MODES:
-            raise ValueError(
-                f"warm_start must be one of {WARM_START_MODES}, got {warm_start!r}"
-            )
+        _validate_warm_start(warm_start)
         tuner = dict(tuner or {})
         controller = dict(controller or {})
-        if not TUNER_KEYS.issuperset(tuner):
-            raise ValueError(f"unknown tuner settings: {sorted(set(tuner) - TUNER_KEYS)}")
-        for key in (
-            "n_workers", "n_transfer_bootstrap", "n_adapt_iterations",
-            "replay_capacity", "n_replays",
-        ):
-            if key in tuner:
-                value = tuner[key]
-                if not isinstance(value, int) or isinstance(value, bool) or value < 1:
-                    raise ValueError(
-                        f"tuner.{key} must be a positive integer, got {value!r}"
-                    )
-        # Values must be rejected *before* the metadata is persisted:
-        # registration writes the store first and builds the session
-        # second, so anything that only fails inside the LOCAT
-        # constructor would poison the store and crash every later
-        # rehydration of the whole service.
-        if tuner.get("surrogate_mode", "full") not in ("full", "incremental"):
-            raise ValueError(
-                "tuner.surrogate_mode must be 'full' or 'incremental', "
-                f"got {tuner['surrogate_mode']!r}"
-            )
-        if tuner.get("surrogate_backend", "exact") not in SURROGATE_BACKENDS:
-            raise ValueError(
-                f"tuner.surrogate_backend must be one of {SURROGATE_BACKENDS}, "
-                f"got {tuner['surrogate_backend']!r}"
-            )
-        if tuner.get("replay_eval", "off") not in REPLAY_EVAL_MODES:
-            raise ValueError(
-                f"tuner.replay_eval must be one of {REPLAY_EVAL_MODES}, "
-                f"got {tuner['replay_eval']!r}"
-            )
-        if not CONTROLLER_KEYS.issuperset(controller):
-            raise ValueError(
-                f"unknown controller settings: {sorted(set(controller) - CONTROLLER_KEYS)}"
-            )
-        if controller.get("detector", DETECTOR_MODES[0]) not in DETECTOR_MODES:
-            raise ValueError(
-                f"controller.detector must be one of {DETECTOR_MODES}, "
-                f"got {controller['detector']!r}"
-            )
-        if "partial_retunes" in controller and not isinstance(
-            controller["partial_retunes"], bool
-        ):
-            raise ValueError(
-                "controller.partial_retunes must be a boolean, "
-                f"got {controller['partial_retunes']!r}"
-            )
-        if controller.get("promotion", PROMOTION_MODES[0]) not in PROMOTION_MODES:
-            raise ValueError(
-                f"controller.promotion must be one of {PROMOTION_MODES}, "
-                f"got {controller['promotion']!r}"
-            )
-        if "shadow_runs" in controller:
-            value = controller["shadow_runs"]
-            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
-                raise ValueError(
-                    f"controller.shadow_runs must be a positive integer, got {value!r}"
-                )
-        if "ab_alpha" in controller:
-            value = controller["ab_alpha"]
-            if (
-                not isinstance(value, (int, float))
-                or isinstance(value, bool)
-                or not 0.0 < float(value) < 1.0
-            ):
-                raise ValueError(
-                    "controller.ab_alpha must be a number strictly between "
-                    f"0 and 1, got {value!r}"
-                )
+        # Every store write below must stay *after* these validators —
+        # see the validator block's module comment (rehydration
+        # poisoning); ``repro check`` enforces the ordering.
+        _validate_tuner(tuner)
+        _validate_controller(controller)
         meta = {
             "benchmark": benchmark,
             "cluster": cluster,
@@ -404,21 +430,24 @@ class TuningRegistry:
         return session
 
     def get(self, app_id: str) -> AppSession:
-        try:
-            return self._sessions[app_id]
-        except KeyError:
-            if app_id in self.quarantined:
-                raise QuarantinedApplicationError(
-                    f"application {app_id!r} is quarantined (its persisted "
-                    f"state failed to rehydrate): {self.quarantined[app_id]}"
-                ) from None
-            raise KeyError(f"unknown application {app_id!r}") from None
+        with self._lock:
+            try:
+                return self._sessions[app_id]
+            except KeyError:
+                if app_id in self.quarantined:
+                    raise QuarantinedApplicationError(
+                        f"application {app_id!r} is quarantined (its persisted "
+                        f"state failed to rehydrate): {self.quarantined[app_id]}"
+                    ) from None
+                raise KeyError(f"unknown application {app_id!r}") from None
 
     def app_ids(self) -> list[str]:
-        return sorted(self._sessions)
+        with self._lock:
+            return sorted(self._sessions)
 
     def __contains__(self, app_id: str) -> bool:
-        return app_id in self._sessions
+        with self._lock:
+            return app_id in self._sessions
 
     # ------------------------------------------------------------------
     # Session construction and rehydration

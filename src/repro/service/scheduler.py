@@ -163,7 +163,7 @@ class JobScheduler:
         #: prefix and therefore the legacy ``job-000001`` ids.
         self.job_id_prefix = str(job_id_prefix)
         #: EWMA of job service times, feeding the Retry-After hint.
-        self._avg_service_s = 1.0
+        self._avg_service_s = 1.0  # guarded-by: _lock, _cond
         #: Evaluation-thread budget shared by all running jobs.  A job
         #: declaring ``slots=k`` (a tuning session with k parallel
         #: evaluators) is only admitted while the budget holds, except
@@ -172,16 +172,18 @@ class JobScheduler:
         #: with the default 1-slot jobs reproduces plain worker-count
         #: admission.
         self.total_slots = int(total_slots) if total_slots is not None else int(n_workers)
-        self._slots_used = 0
+        self._slots_used = 0  # guarded-by: _lock, _cond
         self._lock = threading.Lock()
+        #: The condition wraps ``_lock``: entering either acquires the
+        #: same mutex, so both names are listed as valid guards below.
         self._cond = threading.Condition(self._lock)
-        self._queues: dict[str, deque[Job]] = {}
-        self._busy: set[str] = set()
-        self._jobs: dict[str, Job] = {}
-        self._finished: deque[str] = deque()
-        self._counter = itertools.count(1)
-        self._shutdown = False
-        self._draining = False
+        self._queues: dict[str, deque[Job]] = {}  # guarded-by: _lock, _cond
+        self._busy: set[str] = set()  # guarded-by: _lock, _cond
+        self._jobs: dict[str, Job] = {}  # guarded-by: _lock, _cond
+        self._finished: deque[str] = deque()  # guarded-by: _lock, _cond
+        self._counter = itertools.count(1)  # guarded-by: _lock, _cond
+        self._shutdown = False  # guarded-by: _lock, _cond
+        self._draining = False  # guarded-by: _lock, _cond
         self._workers = [
             threading.Thread(target=self._worker, name=f"tuning-worker-{i}", daemon=True)
             for i in range(n_workers)
@@ -233,10 +235,11 @@ class JobScheduler:
         return job
 
     def get(self, job_id: str) -> Job:
-        try:
-            return self._jobs[job_id]
-        except KeyError:
-            raise KeyError(f"unknown job {job_id!r}") from None
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
 
     def jobs(self, app_id: str | None = None) -> list[Job]:
         """All tracked jobs in submission order, optionally per app."""

@@ -48,6 +48,12 @@ _FORWARDED_HEADERS = ("Content-Type", "Retry-After")
 _JOB_PREFIX_RE = re.compile(r"w(\d+)-")
 
 
+def _submitted_at(job: dict) -> float:
+    """Fan-out merge sort key: jobs a worker never stamped sort first."""
+    timestamp = job.get("submitted_at")
+    return float(timestamp) if timestamp is not None else 0.0
+
+
 class ShardedTuningService:
     """N worker processes behind one routing front end."""
 
@@ -255,7 +261,8 @@ class _FrontendHandler(BaseHTTPRequestHandler):
         self._reply(status, headers, raw)
 
     def _read_body(self) -> bytes:
-        length = int(self.headers.get("Content-Length") or 0)
+        # A missing Content-Length really does mean "no body" here.
+        length = int(self.headers.get("Content-Length") or 0)  # repro: allow[falsy-zero]
         return self.rfile.read(length) if length else b""
 
     # ------------------------------------------------------------------
@@ -375,7 +382,7 @@ class _FrontendHandler(BaseHTTPRequestHandler):
                 )
                 return
             jobs.extend(json.loads(raw).get("jobs", []))
-        jobs.sort(key=lambda job: (job.get("submitted_at") or 0, job.get("job_id", "")))
+        jobs.sort(key=lambda job: (_submitted_at(job), job.get("job_id", "")))
         self._reply_json({"jobs": jobs})
 
     def _merge_health(self) -> None:

@@ -193,7 +193,11 @@ class WorkerSupervisor:
 
     def __init__(self, specs: list[WorkerSpec], start_timeout: float = START_TIMEOUT_S):
         self.start_timeout = start_timeout
-        self.restarts = 0
+        #: Holding a *per-shard* lock is not enough for the shared
+        #: counter: two shards restarting at once would race the
+        #: read-modify-write and drop an increment.
+        self._restarts_lock = threading.Lock()
+        self.restarts = 0  # guarded-by: _restarts_lock
         self._locks = [threading.Lock() for _ in specs]
         self.handles = [WorkerHandle(spec, start_timeout=start_timeout) for spec in specs]
 
@@ -213,7 +217,8 @@ class WorkerSupervisor:
             handle = self.handles[shard]
             if not handle.is_alive():
                 handle.spawn()
-                self.restarts += 1
+                with self._restarts_lock:
+                    self.restarts += 1
                 # Brief grace so a just-bound listener is accepting.
                 time.sleep(0.01)
             return handle

@@ -174,6 +174,10 @@ class HistoryStore:
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Guards the on-disk files, not an attribute: every mutation of
+        # the store tree (appends, meta writes, torn-tail repair) runs
+        # under this lock so concurrent jobs cannot interleave writes
+        # within one process.
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -224,7 +228,9 @@ class HistoryStore:
             return
         now = time.time()
         records = [
-            dataclasses.replace(r, timestamp=now) if r.timestamp == 0.0 else r
+            # Sentinel round-trip: 0.0 is the dataclass default, never a
+            # measured value, and arrives unmodified by any arithmetic.
+            dataclasses.replace(r, timestamp=now) if r.timestamp == 0.0 else r  # repro: allow[float-eq]
             for r in records
         ]
         path = self.app_dir(app_id) / "runs.jsonl"

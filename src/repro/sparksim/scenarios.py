@@ -36,6 +36,7 @@ import numpy as np
 from repro.sparksim.cluster import ClusterSpec
 from repro.sparksim.engine import SparkSQLSimulator
 from repro.sparksim.query import Application, Query
+from repro.stats.sampling import ensure_rng
 
 
 @dataclass(frozen=True)
@@ -129,7 +130,7 @@ def datasize_random_walk(
     what the datasize margin handles when the walk leaves the tuned
     region.
     """
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     size = float(start_gb)
     steps = []
     for i in range(n_steps):
@@ -436,7 +437,7 @@ class ScenarioStream:
         """Full-application duration of ``config`` under ``step``."""
         simulator, app = self.environment(step)
         rng_key = (self.seed, step.index)
-        rng = np.random.default_rng(rng_key)
+        rng = ensure_rng(rng_key)
         duration = float(
             simulator.run(app, config, step.datasize_gb, rng=rng).duration_s
         )

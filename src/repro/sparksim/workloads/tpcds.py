@@ -24,6 +24,7 @@ import zlib
 import numpy as np
 
 from repro.sparksim.catalog import TPCDS_TABLES
+from repro.stats.sampling import ensure_rng
 from repro.sparksim.query import Application, Query, Stage, StageKind
 
 #: Dimension tables whose size sets broadcast-join build sides.  Only the
@@ -85,7 +86,7 @@ def tpcds_query_names() -> list[str]:
 
 def _query_rng(name: str) -> np.random.Generator:
     """Deterministic per-query generator (stable across processes)."""
-    return np.random.default_rng(zlib.crc32(name.encode("ascii")))
+    return ensure_rng(zlib.crc32(name.encode("ascii")))
 
 
 def _sensitive_query(name: str, shuffle_fraction: float) -> Query:

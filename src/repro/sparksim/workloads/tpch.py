@@ -13,6 +13,7 @@ import zlib
 import numpy as np
 
 from repro.sparksim.query import Application, Query, Stage, StageKind
+from repro.stats.sampling import ensure_rng
 
 #: Shuffle-heavy TPC-H queries and their shuffled input fraction.
 SENSITIVE_QUERIES: dict[str, float] = {
@@ -31,7 +32,7 @@ def tpch_query_names() -> list[str]:
 
 
 def _rng(name: str) -> np.random.Generator:
-    return np.random.default_rng(zlib.crc32(f"tpch-{name}".encode("ascii")))
+    return ensure_rng(zlib.crc32(f"tpch-{name}".encode("ascii")))
 
 
 def _sensitive(name: str, shuffle_fraction: float) -> Query:

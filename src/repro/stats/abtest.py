@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.stats.sampling import ensure_rng
+
 #: Below this many pairs a bootstrap interval degenerates (resampling
 #: two points cannot express tail risk), so the comparison is never
 #: declared significant — the gate keeps extending the shadow instead.
@@ -110,7 +112,7 @@ def paired_bootstrap(
     if arr.ndim != 1 or arr.size == 0:
         raise ValueError("deltas must be a non-empty 1-d sequence")
     n = int(arr.size)
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     idx = rng.integers(0, n, size=(int(n_boot), n))
     boot_means = arr[idx].mean(axis=1)
     ci_low = float(np.percentile(boot_means, 100.0 * (alpha / 2.0)))

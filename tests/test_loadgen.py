@@ -2,7 +2,6 @@
 
 import csv
 import math
-import random
 import threading
 
 import pytest
@@ -28,6 +27,7 @@ from repro.loadgen.driver import _issue
 from repro.loadgen.workload import LOADGEN_TUNER, balanced_tenant_ids
 from repro.service import ServiceError, TuningClient, TuningService
 from repro.service.sharding import stable_slot
+from repro.stats.sampling import ensure_rng
 
 
 def record(
@@ -78,9 +78,10 @@ class TestOpMix:
         assert mix == OBSERVE_HEAVY
 
     def test_sample_is_deterministic_and_respects_weights(self):
-        draws = [OBSERVE_HEAVY.sample(random.Random("mix")) for _ in range(5)]
-        assert draws == [OBSERVE_HEAVY.sample(random.Random("mix")) for _ in range(5)]
-        rng = random.Random(7)
+        rng_a, rng_b = ensure_rng(42), ensure_rng(42)
+        draws = [OBSERVE_HEAVY.sample(rng_a) for _ in range(5)]
+        assert draws == [OBSERVE_HEAVY.sample(rng_b) for _ in range(5)]
+        rng = ensure_rng(7)
         counts = {"observe": 0, "status": 0, "config": 0}
         for _ in range(2000):
             counts[OBSERVE_HEAVY.sample(rng)] += 1
@@ -92,7 +93,7 @@ class TestOpMix:
 class TestTenantPlan:
     def test_sample_duration_wobbles_around_baseline(self):
         plan = TenantPlan("t", "join", 10.0, baseline_duration_s=100.0)
-        rng = random.Random(3)
+        rng = ensure_rng(3)
         samples = [plan.sample_duration(rng) for _ in range(200)]
         assert all(98.0 <= s <= 102.0 for s in samples)
         assert len(set(samples)) > 1
@@ -230,7 +231,7 @@ class TestIssueTaxonomy:
 
     def test_ok_paths(self):
         client = self._StubClient()
-        rng = random.Random(1)
+        rng = ensure_rng(1)
         assert _issue(client, self._plan(), "observe", rng, 1) == ("ok", 200, 1)
         assert _issue(client, self._plan(), "observe", rng, 32) == ("ok", 200, 32)
         assert _issue(client, self._plan(), "status", rng, 1) == ("ok", 200, 0)
@@ -239,18 +240,18 @@ class TestIssueTaxonomy:
 
     def test_429_is_rejected_not_error(self):
         client = self._StubClient(exc=ServiceError(429, "saturated", retry_after=2.0))
-        outcome = _issue(client, self._plan(), "observe", random.Random(1), 1)
+        outcome = _issue(client, self._plan(), "observe", ensure_rng(1), 1)
         assert outcome == ("rejected", 429, 0)
 
     def test_other_service_errors_and_oserror_are_errors(self):
         client = self._StubClient(exc=ServiceError(503, "draining"))
-        assert _issue(client, self._plan(), "observe", random.Random(1), 1) == (
+        assert _issue(client, self._plan(), "observe", ensure_rng(1), 1) == (
             "error",
             503,
             0,
         )
         client = self._StubClient(exc=ConnectionResetError())
-        assert _issue(client, self._plan(), "observe", random.Random(1), 1) == (
+        assert _issue(client, self._plan(), "observe", ensure_rng(1), 1) == (
             "error",
             None,
             0,
